@@ -1,0 +1,47 @@
+"""Benchmark-suite infrastructure.
+
+Each benchmark regenerates one of the paper's tables/figures via the
+``repro.experiments`` harness.  Scale comes from ``REPRO_BENCH_SCALE``
+(default ``full`` — the paper's retention 100 / turnover 20 protocol;
+set ``quick`` for a seconds-long smoke pass).
+
+Rendered tables are persisted to ``benchmarks/results/<name>.txt`` and also
+echoed in the terminal summary, so ``pytest benchmarks/ --benchmark-only``
+output contains every reproduced figure.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+_RESULTS: dict[str, str] = {}
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "full")
+
+
+@pytest.fixture
+def record_table():
+    """Register a rendered experiment table for summary + persistence."""
+
+    def _record(name: str, text: str) -> None:
+        _RESULTS[name] = text
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.section("GCCDF reproduction — regenerated tables & figures")
+    for name in sorted(_RESULTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(_RESULTS[name])

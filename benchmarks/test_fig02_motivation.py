@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 2 — the §3.1 motivation comparison.
+
+Shape checks (paper): Naïve dedups well but restores slowly; HAR pays dedup
+ratio for modest restore gains; MFDedup is fine on single-source WEB and
+collapses on multi-source MIX.
+"""
+
+import pytest
+
+from repro.experiments import fig02, run_protocol
+
+
+def test_fig02_motivation(benchmark, bench_scale, record_table):
+    text = benchmark.pedantic(fig02.run, args=(bench_scale,), rounds=1, iterations=1)
+    record_table("fig02_motivation", text)
+
+    naive_web = run_protocol("naive", "web", bench_scale)
+    har_web = run_protocol("har", "web", bench_scale)
+    mf_web = run_protocol("mfdedup", "web", bench_scale)
+    mf_mix = run_protocol("mfdedup", "mix", bench_scale)
+    nondedup_web = run_protocol("nondedup", "web", bench_scale)
+
+    # Naïve keeps the best ratio but the worst locality of the dedup group.
+    assert naive_web.dedup_ratio > har_web.dedup_ratio
+    assert naive_web.mean_read_amplification >= har_web.mean_read_amplification
+    # MFDedup: effective on one source, degenerate on interleaved sources.
+    assert mf_web.dedup_ratio > 3.0
+    assert mf_mix.dedup_ratio == pytest.approx(1.0, abs=0.05)
+    # Non-dedup is the ratio floor and the locality ceiling.
+    assert nondedup_web.dedup_ratio == pytest.approx(1.0)
+    assert nondedup_web.mean_read_amplification == pytest.approx(1.0, abs=0.05)

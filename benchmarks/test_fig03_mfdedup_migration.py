@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 3 — MFDedup's migration overhead.
+
+Shape check (paper): on the single-source WEB dataset MFDedup migrates a
+large fraction of the processed data (paper reports 50–80 %).
+"""
+
+from repro.backup.approaches import make_service
+from repro.backup.driver import RotationDriver
+from repro.experiments import fig03, get_scale
+from repro.workloads.datasets import dataset
+
+
+def test_fig03_mfdedup_migration(benchmark, bench_scale, record_table):
+    text = benchmark.pedantic(fig03.run, args=(bench_scale,), rounds=1, iterations=1)
+    record_table("fig03_mfdedup_migration", text)
+
+    scale = get_scale(bench_scale)
+    service = make_service("mfdedup", scale.config())
+    RotationDriver(service, scale.config().retention, "web").run(
+        dataset("web", scale=scale.workload_scale, num_backups=scale.num_backups("web"))
+    )
+    assert service.migration_fraction > 0.3

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 13 — GC container distribution.
+
+Shape checks (paper §6.4): from the second GC round on, GCCDF produces
+fewer containers than Naïve (the paper reports ≈1/3 — aggregated lifetimes
+mean fewer surviving chunks need copying), and MFDedup never produces any.
+"""
+
+from repro.experiments import fig13, run_protocol
+
+DATASETS = ("wiki", "code", "mix", "syn")
+
+
+def test_fig13_container_distribution(benchmark, bench_scale, record_table):
+    text = benchmark.pedantic(fig13.run, args=(bench_scale,), rounds=1, iterations=1)
+    record_table("fig13_container_distribution", text)
+
+    for ds in DATASETS:
+        naive = run_protocol("naive", ds, bench_scale)
+        gccdf = run_protocol("gccdf", ds, bench_scale)
+        # Skip round 0 (layouts identical before the first reordering).
+        naive_produced = sum(r.produced_containers for r in naive.gc_reports[1:])
+        gccdf_produced = sum(r.produced_containers for r in gccdf.gc_reports[1:])
+        if naive_produced:
+            assert gccdf_produced < naive_produced, ds
+        mfdedup = run_protocol("mfdedup", ds, bench_scale)
+        assert all(r.produced_containers == 0 for r in mfdedup.gc_reports), ds

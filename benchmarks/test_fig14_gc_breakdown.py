@@ -1,0 +1,41 @@
+"""Bench: regenerate Fig. 14 — GC time-cost breakdown.
+
+Shape checks (paper §6.4): mark cost is approach-independent (same recipe
+traversal); the Analyze stage exists only for GCCDF and stays a minority of
+its total; GCCDF's sweep I/O time from round 2 on is below Naïve's.
+"""
+
+import pytest
+
+from repro.experiments import fig14, run_protocol
+
+DATASETS = ("wiki", "code", "mix", "syn")
+
+
+def test_fig14_gc_breakdown(benchmark, bench_scale, record_table):
+    text = benchmark.pedantic(fig14.run, args=(bench_scale,), rounds=1, iterations=1)
+    record_table("fig14_gc_breakdown", text)
+
+    for ds in DATASETS:
+        naive = run_protocol("naive", ds, bench_scale)
+        gccdf = run_protocol("gccdf", ds, bench_scale)
+
+        naive_mark = sum(r.mark_seconds for r in naive.gc_reports)
+        gccdf_mark = sum(r.mark_seconds for r in gccdf.gc_reports)
+        assert gccdf_mark == pytest.approx(naive_mark, rel=0.25), ds
+
+        assert all(r.analyze_seconds == 0.0 for r in naive.gc_reports), ds
+        assert any(r.analyze_seconds > 0.0 for r in gccdf.gc_reports), ds
+        # Analyze stays a minority of GCCDF's total GC time (§6.4).
+        gccdf_analyze = sum(r.analyze_seconds for r in gccdf.gc_reports)
+        gccdf_total = sum(r.total_seconds for r in gccdf.gc_reports)
+        assert gccdf_analyze < 0.5 * gccdf_total, ds
+
+        naive_sweep = sum(
+            r.sweep_read_seconds + r.sweep_write_seconds for r in naive.gc_reports[1:]
+        )
+        gccdf_sweep = sum(
+            r.sweep_read_seconds + r.sweep_write_seconds for r in gccdf.gc_reports[1:]
+        )
+        if naive_sweep:
+            assert gccdf_sweep < naive_sweep, ds

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 15 — segment-size and packing sensitivity (MIX).
+
+Shape checks (paper §6.5): random packing costs extra read amplification
+versus the proposed packing at the default segment size, and the smallest
+segment size is never better than the largest.
+"""
+
+from repro.experiments import fig15, run_protocol
+
+
+def test_fig15_sensitivity(benchmark, bench_scale, record_table):
+    text = benchmark.pedantic(fig15.run, args=(bench_scale,), rounds=1, iterations=1)
+    record_table("fig15_sensitivity", text)
+
+    default = run_protocol("gccdf", "mix", bench_scale)
+    random_packing = run_protocol("gccdf", "mix", bench_scale, packing="random")
+    assert random_packing.mean_read_amplification > default.mean_read_amplification
+
+    smallest = run_protocol("gccdf", "mix", bench_scale, segment_size=10)
+    largest = run_protocol("gccdf", "mix", bench_scale, segment_size=200)
+    assert largest.mean_read_amplification <= smallest.mean_read_amplification * 1.02

@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 1 (dataset inventory)."""
+
+from repro.experiments import table01
+
+
+def test_table01_datasets(benchmark, bench_scale, record_table):
+    text = benchmark.pedantic(table01.run, args=(bench_scale,), rounds=1, iterations=1)
+    record_table("table01_datasets", text)
+    for name in ("WIKI", "CODE", "MIX", "SYN"):
+        assert name in text

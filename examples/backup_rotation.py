@@ -1,0 +1,59 @@
+"""Long-term rotation: Naïve GC vs GCCDF on a single backup source.
+
+Runs the paper's §6.1 protocol (retain N, delete the oldest N/5, GC, ingest
+new) over dozens of WEB-workload backups twice — once with classic
+mark–sweep, once with GCCDF — and compares restore locality and GC effort.
+Demonstrates the headline claim: same dedup ratio, less fragmentation,
+lighter GC.
+
+    python examples/backup_rotation.py
+"""
+
+from __future__ import annotations
+
+from repro import RotationDriver, SystemConfig, dataset, make_service
+from repro.metrics.series import bucket_means
+from repro.util.units import format_bytes
+
+
+def run(approach: str):
+    config = SystemConfig.scaled(retained=30, turnover=6)
+    service = make_service(approach, config)
+    driver = RotationDriver(service, config.retention, dataset_name="web")
+    backups = dataset("web", scale=0.5, num_backups=60)
+    return driver.run(backups)
+
+
+def main() -> None:
+    results = {approach: run(approach) for approach in ("naive", "gccdf")}
+
+    print("== after the full rotation protocol (60 backups, 6 GC rounds) ==\n")
+    for approach, result in results.items():
+        print(
+            f"{approach:6s}: dedup ratio {result.dedup_ratio:.2f}, "
+            f"mean read amp {result.mean_read_amplification:.2f}, "
+            f"restore speed {result.restore_speed / (1 << 20):.0f} MiB/s, "
+            f"final space {format_bytes(result.physical_bytes)}"
+        )
+
+    print("\n== read amplification across retained backups (oldest → newest) ==")
+    for approach, result in results.items():
+        amps = [r.read_amplification for r in result.restore_reports]
+        curve = " ".join(f"{v:4.2f}" for v in bucket_means(amps, 8))
+        print(f"{approach:6s}: {curve}")
+
+    print("\n== GC containers produced per round (copy-forward write volume) ==")
+    for approach, result in results.items():
+        produced = " ".join(f"{r.produced_containers:3d}" for r in result.gc_reports)
+        print(f"{approach:6s}: {produced}")
+
+    naive, gccdf = results["naive"], results["gccdf"]
+    assert gccdf.dedup_ratio == naive.dedup_ratio, "GCCDF never sacrifices dedup"
+    print(
+        f"\nGCCDF restores {gccdf.restore_speed / naive.restore_speed:.2f}× faster "
+        f"than naïve GC at the identical dedup ratio ({gccdf.dedup_ratio:.2f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Multi-source backup fleet: where prior reordering breaks and GCCDF holds.
+
+A backup appliance rarely serves one machine.  This example interleaves
+backups from two unrelated sources (a website and a Redis dump — the MIX
+dataset) and compares four approaches, reproducing the paper's §3.1
+motivation: MFDedup's neighbor-only dedup collapses to no-dedup on the
+interleaved stream, rewriting (HAR) trades away dedup ratio, and GCCDF keeps
+the full ratio while containing fragmentation.
+
+    python examples/multi_source_fleet.py
+"""
+
+from __future__ import annotations
+
+from repro import RotationDriver, SystemConfig, dataset, make_service
+from repro.metrics.table import Column, ResultTable, fmt_float, fmt_mib
+
+
+def main() -> None:
+    config = SystemConfig.scaled(retained=30, turnover=6)
+    table = ResultTable(
+        title="Interleaved website + Redis backups (60 backups, 6 GC rounds)",
+        columns=[
+            Column("approach", align="<"),
+            Column("dedup ratio", format=fmt_float(2)),
+            Column("mean read amp", format=fmt_float(2)),
+            Column("restore MiB/s", format=fmt_mib()),
+        ],
+    )
+    outcomes = {}
+    for approach in ("naive", "har", "mfdedup", "gccdf"):
+        service = make_service(approach, config)
+        driver = RotationDriver(service, config.retention, dataset_name="mix")
+        result = driver.run(dataset("mix", scale=0.5, num_backups=60))
+        outcomes[approach] = result
+        table.add_row(
+            approach,
+            result.dedup_ratio,
+            result.mean_read_amplification,
+            result.restore_speed,
+        )
+    table.print()
+
+    mf, naive, gccdf = outcomes["mfdedup"], outcomes["naive"], outcomes["gccdf"]
+    print(
+        "MFDedup deduplicates only against the immediately preceding backup —\n"
+        "which here always belongs to the *other* source, so its dedup ratio\n"
+        f"collapses to {mf.dedup_ratio:.2f} (effectively no deduplication).\n"
+    )
+    print(
+        f"GCCDF keeps naïve's full dedup ratio ({gccdf.dedup_ratio:.2f}) while cutting\n"
+        f"mean read amplification {naive.mean_read_amplification:.2f} → "
+        f"{gccdf.mean_read_amplification:.2f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

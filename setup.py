@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e .`).
+
+The offline environment ships setuptools without the `wheel` package, which
+breaks PEP 660 editable installs; this file lets pip fall back to the classic
+`setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — a from-scratch reproduction of GCCDF (EuroSys '25).
+
+GCCDF piggybacks reordering-based defragmentation on the data migration that
+deduplicated backup storage's garbage collection performs anyway, improving
+restore speed without sacrificing the deduplication ratio.
+
+Quickstart::
+
+    from repro import SystemConfig, make_service, dataset, RotationDriver
+
+    config = SystemConfig.scaled(retained=20, turnover=5)
+    service = make_service("gccdf", config)
+    driver = RotationDriver(service, config.retention, dataset_name="web")
+    result = driver.run(dataset("web", scale=0.2, num_backups=30))
+    print(result.dedup_ratio, result.mean_read_amplification)
+
+Public surface: configuration (:class:`SystemConfig`), the approach factory
+(:func:`make_service` — nondedup/naive/capping/har/smr/mfdedup/gccdf), the
+dataset presets (:func:`dataset`), the evaluation driver
+(:class:`RotationDriver`), and the underlying building blocks re-exported
+from their subpackages for library users who compose their own systems.
+"""
+
+from repro.config import (
+    ChunkingConfig,
+    DiskConfig,
+    GCCDFConfig,
+    RetentionConfig,
+    SystemConfig,
+)
+from repro.model import Chunk, ChunkRef
+from repro.backup import (
+    APPROACHES,
+    BackupService,
+    DedupBackupService,
+    RotationDriver,
+    RotationResult,
+    make_service,
+)
+from repro.backup.driver import BackupSpec
+from repro.core import GCCDFMigration
+from repro.gc import MarkSweepGC, NaiveMigration
+from repro.mfdedup import MFDedupService
+from repro.workloads import DATASET_NAMES, Dataset, dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChunkingConfig",
+    "DiskConfig",
+    "GCCDFConfig",
+    "RetentionConfig",
+    "SystemConfig",
+    "Chunk",
+    "ChunkRef",
+    "APPROACHES",
+    "BackupService",
+    "DedupBackupService",
+    "RotationDriver",
+    "RotationResult",
+    "BackupSpec",
+    "make_service",
+    "GCCDFMigration",
+    "MarkSweepGC",
+    "NaiveMigration",
+    "MFDedupService",
+    "DATASET_NAMES",
+    "Dataset",
+    "dataset",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Offline analytics over a live backup system.
+
+The experiment harness measures end-to-end outcomes (read amplification,
+GC time).  This package answers the *why* questions underneath them:
+
+* :mod:`repro.analysis.fragmentation` — per-backup fragmentation profiles:
+  which containers a restore touches and how well it uses each.
+* :mod:`repro.analysis.ownership` — ownership structure of the stored
+  chunks: how many distinct owner-sets exist, their size distribution, and
+  per-container ownership purity (the quantity GCCDF's clustering drives
+  toward 1).
+* :mod:`repro.analysis.layout` — compact ASCII renderings of the container
+  layout for small systems (debugging and teaching).
+* :mod:`repro.analysis.gcstats` — aggregation over a run's GC history.
+"""
+
+from repro.analysis.fragmentation import (
+    BackupFragmentation,
+    fragmentation_profile,
+    system_fragmentation,
+)
+from repro.analysis.ownership import (
+    ContainerPurity,
+    OwnershipStats,
+    container_purity,
+    ownership_stats,
+)
+from repro.analysis.layout import render_layout
+from repro.analysis.gcstats import GCSummary, summarize_gc_history
+
+__all__ = [
+    "BackupFragmentation",
+    "fragmentation_profile",
+    "system_fragmentation",
+    "ContainerPurity",
+    "OwnershipStats",
+    "container_purity",
+    "ownership_stats",
+    "render_layout",
+    "GCSummary",
+    "summarize_gc_history",
+]

@@ -1,0 +1,100 @@
+"""Per-backup fragmentation profiling.
+
+For one backup, the profile answers: which containers would a restore touch,
+how many bytes does each contribute, and what fraction of each touched
+container is actually needed?  These utilizations are exactly what read
+amplification aggregates — ``amp = 1 / (bytes-weighted mean utilization)``
+under the read-once model — so the profile decomposes a restore's cost
+container by container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backup.system import DedupBackupService
+from repro.metrics.series import series_summary
+
+
+@dataclass(frozen=True)
+class ContainerUse:
+    """One touched container from a backup's perspective."""
+
+    container_id: int
+    container_bytes: int
+    needed_bytes: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of this container the restore actually needs."""
+        return self.needed_bytes / self.container_bytes if self.container_bytes else 0.0
+
+
+@dataclass(frozen=True)
+class BackupFragmentation:
+    """A backup's fragmentation profile."""
+
+    backup_id: int
+    logical_bytes: int
+    uses: tuple[ContainerUse, ...]
+
+    @property
+    def containers_touched(self) -> int:
+        return len(self.uses)
+
+    @property
+    def read_bytes(self) -> int:
+        """Container bytes a read-once restore would fetch."""
+        return sum(use.container_bytes for use in self.uses)
+
+    @property
+    def read_amplification(self) -> float:
+        if self.logical_bytes == 0:
+            return 0.0
+        return self.read_bytes / self.logical_bytes
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.uses:
+            return 0.0
+        return sum(u.utilization for u in self.uses) / len(self.uses)
+
+    def worst_containers(self, count: int = 5) -> list[ContainerUse]:
+        """The most wasteful touched containers (lowest utilization first)."""
+        return sorted(self.uses, key=lambda u: (u.utilization, u.container_id))[:count]
+
+    def utilization_summary(self) -> dict[str, float]:
+        """min/mean/median/max utilization over touched containers."""
+        return series_summary([u.utilization for u in self.uses])
+
+
+def fragmentation_profile(
+    service: DedupBackupService, backup_id: int
+) -> BackupFragmentation:
+    """Build the profile for one live backup (metadata only — no I/O)."""
+    recipe = service.recipes.get(backup_id)
+    needed: dict[int, int] = {}
+    for entry in recipe.entries:
+        placement = service.index.get(entry.fp)
+        needed[placement.container_id] = needed.get(placement.container_id, 0) + entry.size
+    uses = tuple(
+        ContainerUse(
+            container_id=container_id,
+            container_bytes=service.store.peek(container_id).used_bytes,
+            needed_bytes=needed_bytes,
+        )
+        for container_id, needed_bytes in sorted(needed.items())
+    )
+    return BackupFragmentation(
+        backup_id=backup_id,
+        logical_bytes=recipe.logical_size,
+        uses=uses,
+    )
+
+
+def system_fragmentation(service: DedupBackupService) -> dict[int, BackupFragmentation]:
+    """Profiles for every live backup, keyed by backup id."""
+    return {
+        backup_id: fragmentation_profile(service, backup_id)
+        for backup_id in service.live_backup_ids()
+    }

@@ -1,0 +1,74 @@
+"""Aggregation over a run's garbage-collection history.
+
+Condenses a list of per-round :class:`~repro.gc.report.GCReport` objects
+into the totals the paper's §6.4 discussion works with: container counts,
+migrated/reclaimed volume, and the stage time breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gc.report import GCReport
+from repro.util.units import format_bytes, format_duration
+
+
+@dataclass(frozen=True)
+class GCSummary:
+    """Totals over a sequence of GC rounds."""
+
+    rounds: int
+    backups_purged: int
+    involved_containers: int
+    reclaimed_containers: int
+    produced_containers: int
+    migrated_bytes: int
+    reclaimed_bytes: int
+    mark_seconds: float
+    analyze_seconds: float
+    sweep_read_seconds: float
+    sweep_write_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.mark_seconds
+            + self.analyze_seconds
+            + self.sweep_read_seconds
+            + self.sweep_write_seconds
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.rounds} GC rounds: purged {self.backups_purged} backups, "
+            f"containers {self.involved_containers}/{self.reclaimed_containers}/"
+            f"{self.produced_containers} (involved/reclaimed/produced), "
+            f"migrated {format_bytes(self.migrated_bytes)}, "
+            f"reclaimed {format_bytes(self.reclaimed_bytes)}, "
+            f"time {format_duration(self.total_seconds)}"
+        )
+
+
+def summarize_gc_history(history: list[GCReport]) -> GCSummary:
+    """Fold a GC history into one :class:`GCSummary`."""
+    return GCSummary(
+        rounds=len(history),
+        backups_purged=sum(r.backups_purged for r in history),
+        involved_containers=sum(r.involved_containers for r in history),
+        reclaimed_containers=sum(r.reclaimed_containers for r in history),
+        produced_containers=sum(r.produced_containers for r in history),
+        migrated_bytes=sum(r.migrated_bytes for r in history),
+        reclaimed_bytes=sum(r.reclaimed_bytes for r in history),
+        mark_seconds=sum(r.mark_seconds for r in history),
+        analyze_seconds=sum(r.analyze_seconds for r in history),
+        sweep_read_seconds=sum(r.sweep_read_seconds for r in history),
+        sweep_write_seconds=sum(r.sweep_write_seconds for r in history),
+    )
+
+
+def produced_ratio(baseline: GCSummary, other: GCSummary) -> float:
+    """``other``'s produced containers as a fraction of ``baseline``'s —
+    the Fig. 13 "GCCDF produces ~1/3 of naive" quantity."""
+    if baseline.produced_containers == 0:
+        return 0.0
+    return other.produced_containers / baseline.produced_containers

@@ -1,0 +1,17 @@
+"""System facade: backup services, retention, and the evaluation driver."""
+
+from repro.backup.service import BackupService
+from repro.backup.system import DedupBackupService
+from repro.backup.retention import RetentionPolicy
+from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.driver import RotationDriver, RotationResult
+
+__all__ = [
+    "BackupService",
+    "DedupBackupService",
+    "RetentionPolicy",
+    "APPROACHES",
+    "make_service",
+    "RotationDriver",
+    "RotationResult",
+]

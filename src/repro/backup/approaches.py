@@ -1,0 +1,68 @@
+"""Factory for the six evaluated approaches (paper §6.1 and artifact §A.2).
+
+==========  =============================================================
+name        configuration
+==========  =============================================================
+nondedup    dedup disabled (every chunk stored), classic GC
+naive       full dedup, no rewriting, classic GC
+capping     Capping rewriting + classic GC
+har         HAR rewriting + classic GC
+smr         SMR rewriting + classic GC
+gccdf       full dedup, no rewriting, GCCDF-powered GC
+mfdedup     MFDedup engine (neighbor dedup, volumes, deletion-only GC)
+==========  =============================================================
+"""
+
+from __future__ import annotations
+
+from repro.backup.service import BackupService
+from repro.backup.system import DedupBackupService
+from repro.config import SystemConfig
+from repro.core.gccdf import GCCDFMigration
+from repro.dedup.rewriting import make_rewriting
+from repro.gc.migration import NaiveMigration
+from repro.mfdedup.engine import MFDedupService
+
+#: Approaches in the order the paper's figures list them.
+APPROACHES = ("nondedup", "naive", "capping", "har", "smr", "mfdedup", "gccdf")
+
+
+def make_service(
+    approach: str,
+    config: SystemConfig | None = None,
+    seed: int = 0,
+    **policy_kwargs,
+) -> BackupService:
+    """Build a backup service for one approach.
+
+    ``policy_kwargs`` are forwarded to the rewriting policy (e.g.
+    ``cap=20`` for capping, ``utilization_threshold=0.5`` for HAR).
+    """
+    config = config or SystemConfig.scaled()
+    if approach == "mfdedup":
+        return MFDedupService(config=config)
+    if approach == "nondedup":
+        return DedupBackupService(
+            config=config,
+            dedup_enabled=False,
+            migration=NaiveMigration(),
+            name="nondedup",
+        )
+    if approach == "gccdf":
+        return DedupBackupService(
+            config=config,
+            migration=GCCDFMigration(seed=seed),
+            name="gccdf",
+        )
+    if approach in ("naive", "capping", "har", "smr"):
+        service = DedupBackupService(
+            config=config,
+            migration=NaiveMigration(),
+            name=approach,
+        )
+        if approach != "naive":
+            service.pipeline.rewriting = make_rewriting(
+                approach, store=service.store, **policy_kwargs
+            )
+        return service
+    raise ValueError(f"unknown approach {approach!r}; choose from {APPROACHES}")

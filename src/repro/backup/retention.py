@@ -1,0 +1,36 @@
+"""Retention policy: the paper's rotation rule (§6.1).
+
+"The backup storage always retains the 100 most recent backups, deletes the
+earliest 20 backups in each round, and then runs GC."  The policy object
+answers, given the current live count, whether a turnover round is due and
+how many backups to delete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import RetentionConfig
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Keep-`retained` / delete-`turnover` rotation."""
+
+    config: RetentionConfig
+
+    @property
+    def retained(self) -> int:
+        return self.config.retained
+
+    @property
+    def turnover(self) -> int:
+        return self.config.turnover
+
+    def round_due(self, live_count: int) -> bool:
+        """A turnover round triggers once the retained window is full."""
+        return live_count >= self.config.retained
+
+    def victims(self, live_ids: list[int]) -> list[int]:
+        """The oldest ``turnover`` backups, the round's deletion set."""
+        return live_ids[: self.config.turnover]

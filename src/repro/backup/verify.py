@@ -1,0 +1,159 @@
+"""Whole-system consistency verification.
+
+A deduplicating store with copy-forward GC has several metadata structures
+that must stay mutually consistent — the fingerprint index, the container
+store, and every live recipe.  :func:`verify_system` walks all of them and
+returns a :class:`VerificationReport`; :func:`assert_consistent` raises
+:class:`~repro.errors.IntegrityError` with the full finding list otherwise.
+
+Checked invariants:
+
+1. every live recipe entry's storage key resolves through the index;
+2. each resolved placement names a live container that actually holds the
+   key, with the recorded size;
+3. every index entry points into a live container holding its key (no
+   dangling placements after GC relocation);
+4. containers contain no duplicate storage keys;
+5. container ``used_bytes`` equals the sum of its entry sizes;
+6. with an exact-VC system, no container holds a key that neither the index
+   nor any live recipe knows (garbage the last GC should have reclaimed is
+   reported as a *warning*, since it may legitimately await the next GC).
+
+The property-based suite runs this after every generated operation
+sequence; operators can call it after any GC as a cheap audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backup.system import DedupBackupService
+from repro.errors import IntegrityError, UnknownChunkError, UnknownContainerError
+
+
+@dataclass
+class VerificationReport:
+    """Findings from one verification pass."""
+
+    #: Hard inconsistencies: the system is corrupt if any exist.
+    errors: list[str] = field(default_factory=list)
+    #: Benign observations (e.g. reclaimable garbage awaiting the next GC).
+    warnings: list[str] = field(default_factory=list)
+    #: Statistics gathered during the walk.
+    live_recipes: int = 0
+    recipe_entries: int = 0
+    index_entries: int = 0
+    containers: int = 0
+    container_chunks: int = 0
+
+    @property
+    def consistent(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        status = "CONSISTENT" if self.consistent else f"{len(self.errors)} ERRORS"
+        return (
+            f"verification: {status} — {self.live_recipes} recipes / "
+            f"{self.recipe_entries} entries, {self.index_entries} index keys, "
+            f"{self.containers} containers / {self.container_chunks} chunks, "
+            f"{len(self.warnings)} warnings"
+        )
+
+
+def verify_system(service: DedupBackupService) -> VerificationReport:
+    """Audit a container-based backup service; never raises."""
+    report = VerificationReport()
+    index = service.index
+    store = service.store
+    recipes = service.recipes
+
+    # --- container-side structure (invariants 4, 5) -------------------
+    container_keys: dict[bytes, int] = {}
+    for container in store.containers():
+        report.containers += 1
+        seen: set[bytes] = set()
+        total = 0
+        for entry in container.entries:
+            report.container_chunks += 1
+            total += entry.size
+            if entry.fp in seen:
+                report.errors.append(
+                    f"container {container.container_id} holds duplicate key "
+                    f"{entry.fp.hex()[:12]}…"
+                )
+            seen.add(entry.fp)
+            container_keys[entry.fp] = container.container_id
+        if total != container.used_bytes:
+            report.errors.append(
+                f"container {container.container_id} used_bytes={container.used_bytes} "
+                f"but entries sum to {total}"
+            )
+
+    # --- index side (invariant 3) -------------------------------------
+    for key, placement in index.items():
+        report.index_entries += 1
+        try:
+            container = store.peek(placement.container_id)
+        except UnknownContainerError:
+            report.errors.append(
+                f"index key {key.hex()[:12]}… points at dead container "
+                f"{placement.container_id}"
+            )
+            continue
+        if container_keys.get(key) != placement.container_id:
+            report.errors.append(
+                f"index key {key.hex()[:12]}… claims container "
+                f"{placement.container_id}, which does not hold it"
+            )
+
+    # --- recipe side (invariants 1, 2) ---------------------------------
+    referenced: set[bytes] = set()
+    for recipe in recipes.live_recipes():
+        report.live_recipes += 1
+        for entry in recipe.entries:
+            report.recipe_entries += 1
+            referenced.add(entry.fp)
+            try:
+                placement = index.get(entry.fp)
+            except UnknownChunkError:
+                report.errors.append(
+                    f"backup {recipe.backup_id} references key "
+                    f"{entry.fp.hex()[:12]}… missing from the index"
+                )
+                continue
+            if placement.size != entry.size:
+                report.errors.append(
+                    f"backup {recipe.backup_id} key {entry.fp.hex()[:12]}… size "
+                    f"{entry.size} != indexed size {placement.size}"
+                )
+            if container_keys.get(entry.fp) != placement.container_id:
+                report.errors.append(
+                    f"backup {recipe.backup_id} key {entry.fp.hex()[:12]}… not "
+                    f"present in its placement container {placement.container_id}"
+                )
+
+    # --- unreferenced residue (invariant 6, warning only) --------------
+    # Keys may legitimately linger between a deletion and the next GC, or
+    # be retained by a Bloom VC table's false positives.
+    unreferenced = set(container_keys) - referenced
+    deleted_refs: set[bytes] = set()
+    for recipe in recipes.deleted_recipes():
+        deleted_refs.update(entry.fp for entry in recipe.entries)
+    stray = unreferenced - deleted_refs
+    if stray:
+        report.warnings.append(
+            f"{len(stray)} stored keys referenced by no recipe "
+            "(awaiting GC, or Bloom-VC retained)"
+        )
+    return report
+
+
+def assert_consistent(service: DedupBackupService) -> VerificationReport:
+    """Run :func:`verify_system`; raise IntegrityError on any hard finding."""
+    report = verify_system(service)
+    if not report.consistent:
+        details = "\n  ".join(report.errors[:20])
+        raise IntegrityError(
+            f"backup system inconsistent ({len(report.errors)} errors):\n  {details}"
+        )
+    return report

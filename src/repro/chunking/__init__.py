@@ -1,0 +1,21 @@
+"""Content-defined and fixed-size chunking.
+
+The paper chunks backup streams with FastCDC (Xia et al., USENIX ATC '16)
+at 1 KiB min / 4 KiB avg / 32 KiB max (§6.1).  This package implements
+FastCDC from scratch (gear hash, two-stage normalized chunking) plus a
+fixed-size chunker used to illustrate the boundary-shift problem (§5.5).
+"""
+
+from repro.chunking.base import Chunker, chunk_stream, reassemble
+from repro.chunking.fixed import FixedChunker
+from repro.chunking.fastcdc import FastCDC
+from repro.chunking.gear import gear_table
+
+__all__ = [
+    "Chunker",
+    "chunk_stream",
+    "reassemble",
+    "FixedChunker",
+    "FastCDC",
+    "gear_table",
+]

@@ -1,0 +1,89 @@
+"""Chunker interface and stream helpers.
+
+A chunker turns a byte string into a sequence of cut points; the helpers here
+lift that into :class:`~repro.model.Chunk` production over whole buffers or
+incrementally over file-like streams.
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO, Iterable, Iterator, Protocol
+
+from repro.errors import ChunkingError
+from repro.hashing.fingerprints import fingerprint
+from repro.model import Chunk, ChunkRef
+
+
+class Chunker(Protocol):
+    """Anything that can split a buffer into contiguous chunk lengths."""
+
+    @property
+    def max_size(self) -> int:
+        """Largest chunk the algorithm can emit, in bytes."""
+        ...
+
+    def cut(self, data: bytes, start: int, end: int) -> int:
+        """Return the end offset of the next chunk beginning at ``start``.
+
+        ``end`` bounds the usable data.  Implementations must return an
+        offset in ``(start, end]`` and must be deterministic functions of
+        ``data[start:end]`` only (self-containedness is what gives CDC its
+        boundary-shift resistance).
+        """
+        ...
+
+
+def split(chunker: Chunker, data: bytes) -> Iterator[Chunk]:
+    """Split an in-memory buffer into fingerprinted chunks."""
+    offset = 0
+    length = len(data)
+    while offset < length:
+        cut = chunker.cut(data, offset, length)
+        if not (offset < cut <= length):
+            raise ChunkingError(
+                f"chunker returned invalid cut point {cut} for window [{offset}, {length})"
+            )
+        piece = data[offset:cut]
+        yield Chunk(ref=ChunkRef(fp=fingerprint(piece), size=len(piece)), data=piece)
+        offset = cut
+
+
+def chunk_stream(chunker: Chunker, stream: BinaryIO, read_size: int = 1 << 20) -> Iterator[Chunk]:
+    """Incrementally chunk a binary stream.
+
+    The buffer is kept at least one ``max_size`` deep (until EOF) so that
+    every cut decision sees the same window it would over the whole buffer,
+    making streamed and whole-buffer chunking produce identical output.
+    """
+    if read_size <= 0:
+        raise ChunkingError("read_size must be positive")
+    buffer = bytearray()
+    eof = False
+    while True:
+        while not eof and len(buffer) < max(chunker.max_size * 2, read_size):
+            block = stream.read(read_size)
+            if not block:
+                eof = True
+                break
+            buffer.extend(block)
+        if not buffer:
+            return
+        view = bytes(buffer)
+        offset = 0
+        # Keep a full max_size window after each cut unless we hit EOF.
+        limit = len(view) if eof else len(view) - chunker.max_size
+        while offset < len(view) and (eof or offset <= limit):
+            cut = chunker.cut(view, offset, len(view))
+            if not eof and cut == len(view) and cut - offset < chunker.max_size:
+                break  # ambiguous tail; refill first
+            piece = view[offset:cut]
+            yield Chunk(ref=ChunkRef(fp=fingerprint(piece), size=len(piece)), data=piece)
+            offset = cut
+        del buffer[:offset]
+        if eof and not buffer:
+            return
+
+
+def reassemble(chunks: Iterable[Chunk]) -> bytes:
+    """Concatenate chunk payloads back into the original buffer."""
+    return b"".join(chunk.data for chunk in chunks)

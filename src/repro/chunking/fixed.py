@@ -1,0 +1,29 @@
+"""Fixed-size chunking.
+
+Included as the counter-example from the paper's §5.5 discussion: fixed-size
+chunking suffers the *boundary shift problem* — a small insertion early in a
+stream changes every later chunk — which is why backup dedup uses CDC.
+The unit tests demonstrate exactly that contrast against FastCDC.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ChunkingError
+
+
+class FixedChunker:
+    """Splits data into fixed ``size``-byte chunks (last one may be short)."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ChunkingError("fixed chunk size must be positive")
+        self.size = size
+
+    @property
+    def max_size(self) -> int:
+        return self.size
+
+    def cut(self, data: bytes, start: int, end: int) -> int:
+        if start >= end:
+            raise ChunkingError(f"empty window [{start}, {end})")
+        return min(start + self.size, end)

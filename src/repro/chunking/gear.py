@@ -1,0 +1,26 @@
+"""Gear-hash table generation for FastCDC.
+
+FastCDC's rolling hash is the *gear* hash:
+
+    h = (h << 1 + gear[byte]) mod 2^64
+
+where ``gear`` is a table of 256 random 64-bit integers.  The original
+implementations ship a hard-coded random table; we generate one
+deterministically from a seed so the whole library stays reproducible while
+remaining faithful to the construction.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.util.rng import DeterministicRng
+
+_MASK_64 = (1 << 64) - 1
+
+
+@lru_cache(maxsize=8)
+def gear_table(seed: int) -> tuple[int, ...]:
+    """256 pseudo-random 64-bit gear values derived from ``seed``."""
+    rng = DeterministicRng(seed)
+    return tuple(rng.token() & _MASK_64 for _ in range(256))

@@ -1,0 +1,51 @@
+"""Storage keys: physical chunk-copy identities.
+
+Rewriting techniques store *additional copies* of duplicate chunks, and every
+backup's recipe must keep reading the copy it was written against (that is
+what makes rewriting's dedup-ratio loss persistent: old copies stay pinned
+until their referencing backups rotate out).  To model this faithfully the
+library distinguishes:
+
+* the **logical fingerprint** — 20-byte SHA-1 of content; two chunks with the
+  same logical fingerprint are duplicates;
+* the **storage key** — logical fingerprint plus a 4-byte *generation*
+  counter; each physical copy of a chunk has its own key.
+
+Recipes, the fingerprint index, containers, the VC table and GCCDF's
+ownership analysis all operate on storage keys, so per-copy liveness falls
+out naturally from the ordinary machinery.  Systems that never rewrite
+(Naïve, GCCDF) only ever mint generation 0; the non-dedup baseline mints a
+fresh generation per occurrence.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.fingerprints import FINGERPRINT_SIZE
+
+#: Bytes appended to the logical fingerprint to encode the copy generation.
+GENERATION_SIZE = 4
+#: Total storage-key width.
+KEY_SIZE = FINGERPRINT_SIZE + GENERATION_SIZE
+
+
+def storage_key(fp: bytes, generation: int = 0) -> bytes:
+    """Build the storage key for copy ``generation`` of logical chunk ``fp``."""
+    if len(fp) != FINGERPRINT_SIZE:
+        raise ValueError(f"expected {FINGERPRINT_SIZE}-byte fingerprint, got {len(fp)}")
+    if not (0 <= generation < 1 << (8 * GENERATION_SIZE)):
+        raise ValueError(f"generation {generation} out of range")
+    return fp + generation.to_bytes(GENERATION_SIZE, "big")
+
+
+def logical_fp(key: bytes) -> bytes:
+    """Recover the logical fingerprint from a storage key."""
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"expected {KEY_SIZE}-byte storage key, got {len(key)}")
+    return key[:FINGERPRINT_SIZE]
+
+
+def key_generation(key: bytes) -> int:
+    """Recover the copy generation from a storage key."""
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"expected {KEY_SIZE}-byte storage key, got {len(key)}")
+    return int.from_bytes(key[FINGERPRINT_SIZE:], "big")

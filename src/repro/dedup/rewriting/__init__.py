@@ -1,0 +1,53 @@
+"""Rewriting-based defragmentation baselines (paper §2.3, §6.1).
+
+A rewriting policy watches the ingest stream and may flag duplicate chunks to
+be *stored again* near their backup's other chunks, trading dedup ratio for
+restore locality.  Three published techniques are implemented:
+
+* :class:`CappingRewriting` — Lillibridge et al., FAST '13.
+* :class:`HARRewriting` — History-Aware Rewriting, Fu et al., TPDS '16.
+* :class:`SMRRewriting` — cost-efficient utility-threshold rewriting after
+  Wu et al., TPDS '19 (approximation; see DESIGN.md substitution table).
+
+plus :class:`NullRewriting` (never rewrites — used by Naïve and GCCDF).
+"""
+
+from repro.dedup.rewriting.base import IngestEntry, NullRewriting, RewritingPolicy
+from repro.dedup.rewriting.capping import CappingRewriting
+from repro.dedup.rewriting.har import HARRewriting
+from repro.dedup.rewriting.smr import SMRRewriting
+
+_REGISTRY = {
+    "none": NullRewriting,
+    "capping": CappingRewriting,
+    "har": HARRewriting,
+    "smr": SMRRewriting,
+}
+
+
+def make_rewriting(name: str, store, **kwargs) -> RewritingPolicy:
+    """Instantiate a rewriting policy by name.
+
+    ``store`` is the container store the policy may consult for container
+    metadata (utilization); policies that do not need it ignore it.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown rewriting policy {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    if cls is NullRewriting:
+        return cls()
+    return cls(store=store, **kwargs)
+
+
+__all__ = [
+    "IngestEntry",
+    "RewritingPolicy",
+    "NullRewriting",
+    "CappingRewriting",
+    "HARRewriting",
+    "SMRRewriting",
+    "make_rewriting",
+]

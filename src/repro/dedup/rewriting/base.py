@@ -1,0 +1,95 @@
+"""Rewriting-policy interface.
+
+Policies see the ingest stream as a sequence of :class:`IngestEntry` items
+already annotated with the duplicate-detection result.  They may buffer
+entries (Capping and SMR decide per stream segment) and must emit every entry
+exactly once, in stream order, with ``rewrite`` finalised.  The pipeline then
+writes unique entries and rewrite-flagged duplicates to containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class IngestEntry:
+    """One chunk travelling through the ingest pipeline.
+
+    The pipeline fills the identity and duplicate-detection fields; the
+    rewriting policy owns ``rewrite``.
+    """
+
+    fp: bytes
+    size: int
+    payload: bytes | None = None
+    #: True when duplicate detection found an existing copy.
+    duplicate: bool = False
+    #: Storage key of the existing current copy (duplicates only).
+    existing_key: bytes | None = None
+    #: Container currently holding that copy (duplicates only).
+    container_id: int | None = None
+    #: Policy decision: store this duplicate again.
+    rewrite: bool = False
+
+
+class RewritingPolicy:
+    """Base class: never rewrites; subclasses override the hooks they need."""
+
+    #: Human-readable policy name for reports.
+    name = "none"
+
+    def begin_backup(self, backup_id: int) -> None:
+        """Called before the first chunk of each backup."""
+
+    def feed(self, entry: IngestEntry) -> Iterable[IngestEntry]:
+        """Offer one entry; yield zero or more entries with final decisions.
+
+        Entries must come back in stream order.  A policy that buffers
+        returns nothing now and releases the buffer later.
+        """
+        return (entry,)
+
+    def flush(self) -> Iterable[IngestEntry]:
+        """Release any buffered entries at end of backup (decisions final)."""
+        return ()
+
+    def end_backup(self) -> None:
+        """Called after the last entry has been flushed and written."""
+
+
+@dataclass
+class _Segment:
+    """A buffered run of stream entries used by segment-based policies."""
+
+    entries: list[IngestEntry] = field(default_factory=list)
+    buffered_bytes: int = 0
+
+    def add(self, entry: IngestEntry) -> None:
+        self.entries.append(entry)
+        self.buffered_bytes += entry.size
+
+    def referenced_bytes_by_container(self) -> dict[int, int]:
+        """Duplicate bytes per referenced old container in this segment."""
+        per_container: dict[int, int] = {}
+        for entry in self.entries:
+            if entry.duplicate and entry.container_id is not None:
+                per_container[entry.container_id] = (
+                    per_container.get(entry.container_id, 0) + entry.size
+                )
+        return per_container
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.buffered_bytes = 0
+
+
+class NullRewriting(RewritingPolicy):
+    """The no-op policy: every duplicate stays deduplicated.
+
+    Used by the Naïve baseline and by GCCDF itself — the paper's point is
+    that GCCDF "never tolerates any duplicate chunks" (§6.2).
+    """
+
+    name = "none"

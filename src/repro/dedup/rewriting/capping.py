@@ -1,0 +1,68 @@
+"""Capping (Lillibridge et al., FAST '13).
+
+Capping bounds the number of *old* containers a fixed-size segment of the
+backup stream may reference.  The stream is buffered in segments (20 MiB in
+the original paper — expressed here as a multiple of the container size so it
+scales with the geometry).  Within a segment the referenced old containers
+are ranked by how many duplicate bytes they supply; only the top ``cap``
+survive, and duplicates pointing at any other container are rewritten.
+
+The effect: restoring the backup touches at most ``cap`` old containers per
+segment, at the cost of re-storing the rewritten duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dedup.rewriting.base import IngestEntry, RewritingPolicy, _Segment
+from repro.errors import ConfigError
+from repro.storage.store import ContainerStore
+
+
+class CappingRewriting(RewritingPolicy):
+    """Segment-buffered container capping."""
+
+    name = "capping"
+
+    def __init__(
+        self,
+        store: ContainerStore,
+        cap: int = 20,
+        segment_containers: int = 5,
+    ):
+        """``cap``: old containers allowed per segment (the paper's artifact
+        default ``CappingThreshold=20``).  ``segment_containers``: segment
+        length as a multiple of the container size (20 MiB / 4 MiB = 5)."""
+        if cap <= 0:
+            raise ConfigError("capping cap must be positive")
+        if segment_containers <= 0:
+            raise ConfigError("segment_containers must be positive")
+        self.cap = cap
+        self.segment_bytes = segment_containers * store.capacity
+        self._segment = _Segment()
+
+    def begin_backup(self, backup_id: int) -> None:
+        self._segment.clear()
+
+    def feed(self, entry: IngestEntry) -> Iterable[IngestEntry]:
+        self._segment.add(entry)
+        if self._segment.buffered_bytes >= self.segment_bytes:
+            return self._decide_segment()
+        return ()
+
+    def flush(self) -> Iterable[IngestEntry]:
+        return self._decide_segment()
+
+    def _decide_segment(self) -> list[IngestEntry]:
+        """Rank referenced containers, rewrite duplicates beyond the cap."""
+        entries = list(self._segment.entries)
+        per_container = self._segment.referenced_bytes_by_container()
+        self._segment.clear()
+        if len(per_container) > self.cap:
+            ranked = sorted(per_container.items(), key=lambda kv: (-kv[1], kv[0]))
+            allowed = {container_id for container_id, _ in ranked[: self.cap]}
+            for entry in entries:
+                if entry.duplicate and entry.container_id not in allowed:
+                    entry.rewrite = True
+        return entries

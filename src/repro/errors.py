@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch the whole family with a single ``except`` clause while still being
+able to discriminate on the specific failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ChunkingError(ReproError):
+    """A chunker was misconfigured or fed invalid input."""
+
+
+class StorageError(ReproError):
+    """Base class for container-store failures."""
+
+
+class ContainerSealedError(StorageError):
+    """An attempt was made to append to a sealed (immutable) container."""
+
+
+class ContainerFullError(StorageError):
+    """A chunk did not fit into the open container."""
+
+
+class UnknownContainerError(StorageError):
+    """A container id was requested that the store does not hold."""
+
+
+class UnknownChunkError(ReproError):
+    """A fingerprint was looked up that the index does not hold."""
+
+
+class UnknownBackupError(ReproError):
+    """A backup id was referenced that the recipe store does not hold."""
+
+
+class BackupAlreadyDeletedError(ReproError):
+    """A logically deleted backup was deleted or restored again."""
+
+
+class GCError(ReproError):
+    """Garbage collection detected an internal inconsistency."""
+
+
+class IntegrityError(ReproError):
+    """Restored data failed verification against its recipe."""

@@ -1,0 +1,136 @@
+"""Design-choice ablations beyond the paper's own sensitivity study.
+
+DESIGN.md §5 commits to four ablations of choices the paper makes but does
+not individually quantify:
+
+* **packing** — tree order (§5.4's implementation) vs the explicit greedy
+  §4.2 strategy vs random, on every dataset (Fig. 15a does this on MIX only);
+* **vc-table** — exact set vs Bloom filter in the mark stage: space saved
+  vs dead chunks retained by false positives;
+* **split-denial** — the Analyzer's leaf-size threshold (§5.3 ③): cluster
+  count and read amplification across thresholds;
+* **restore-cache** — bounded restore caches vs the read-once model: how
+  cache pressure inflates effective read amplification per approach.
+
+Each function returns a rendered table; ``run`` concatenates all four.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import run_protocol
+from repro.metrics.table import Column, ResultTable, fmt_float, fmt_mib
+
+DATASETS = ("wiki", "code", "mix", "syn")
+
+
+def packing_ablation(scale: str = "quick") -> str:
+    """Tree vs greedy vs random packing on every dataset."""
+    table = ResultTable(
+        title=f"Ablation — packing strategy (scale={scale})",
+        columns=[
+            Column("dataset", align="<"),
+            Column("packing", align="<"),
+            Column("mean read amp", format=fmt_float(3)),
+            Column("restore MiB/s", format=fmt_mib()),
+        ],
+    )
+    for dataset_name in DATASETS:
+        for packing in ("greedy", "tree", "random"):
+            result = run_protocol("gccdf", dataset_name, scale, packing=packing)
+            table.add_row(
+                dataset_name.upper(),
+                packing,
+                result.mean_read_amplification,
+                result.restore_speed,
+            )
+    return table.render()
+
+
+def vc_table_ablation(scale: str = "quick") -> str:
+    """Exact vs Bloom VC table: reclaimed space and physical residue."""
+    table = ResultTable(
+        title=f"Ablation — VC table type (scale={scale})",
+        columns=[
+            Column("dataset", align="<"),
+            Column("vc table", align="<"),
+            Column("reclaimed bytes"),
+            Column("final physical bytes"),
+            Column("mean read amp", format=fmt_float(3)),
+        ],
+    )
+    for dataset_name in ("web", "mix"):
+        for vc_table in ("exact", "bloom"):
+            result = run_protocol("gccdf", dataset_name, scale, vc_table=vc_table)
+            reclaimed = sum(r.reclaimed_bytes for r in result.gc_reports)
+            table.add_row(
+                dataset_name.upper(),
+                vc_table,
+                reclaimed,
+                result.physical_bytes,
+                result.mean_read_amplification,
+            )
+    return table.render()
+
+
+def split_denial_ablation(scale: str = "quick") -> str:
+    """Analyzer split-denial threshold sweep on MIX."""
+    table = ResultTable(
+        title=f"Ablation — Analyzer split-denial threshold, MIX (scale={scale})",
+        columns=[
+            Column("threshold"),
+            Column("mean read amp", format=fmt_float(3)),
+            Column("GC analyze ms", format=lambda s: f"{s * 1000:.1f}"),
+        ],
+    )
+    for threshold in (0, 2, 4, 16, 64):
+        result = run_protocol(
+            "gccdf", "mix", scale, split_denial_threshold=threshold
+        )
+        analyze = sum(r.analyze_seconds for r in result.gc_reports)
+        table.add_row(threshold, result.mean_read_amplification, analyze)
+    return table.render()
+
+
+def restore_cache_ablation(scale: str = "quick") -> str:
+    """Bounded restore caches: read-once model vs LRU pressure."""
+    table = ResultTable(
+        title=f"Ablation — restore cache size, MIX (scale={scale})",
+        columns=[
+            Column("approach", align="<"),
+            Column("cache (containers)", align="<"),
+            Column("mean read amp", format=fmt_float(3)),
+        ],
+    )
+    for approach in ("naive", "gccdf"):
+        for cache in (4, 16, 64, None):
+            result = run_protocol(
+                approach,
+                "mix",
+                scale,
+                restore_cache_containers=cache,
+            )
+            table.add_row(
+                approach,
+                "unbounded" if cache is None else str(cache),
+                result.mean_read_amplification,
+            )
+    return table.render()
+
+
+def run(scale: str = "quick") -> str:
+    return "\n\n".join(
+        [
+            packing_ablation(scale),
+            vc_table_ablation(scale),
+            split_denial_ablation(scale),
+            restore_cache_ablation(scale),
+        ]
+    )
+
+
+def main() -> None:
+    print(run("quick"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Fig. 2 — motivation: the limitations of existing approaches (§3.1).
+
+Four approaches (Non-dedup, Naïve, HAR, MFDedup) on the WEB and MIX
+datasets; two panels: (a) actual deduplication ratio, (b) restoration
+performance.  Expected shape (paper §3.1):
+
+* Naïve — high dedup ratio, poor restore speed;
+* HAR — restore gain over Naïve at a visible dedup-ratio cost;
+* MFDedup — good on WEB (single source), collapses to ≈ no-dedup on MIX;
+* Non-dedup — ratio 1.0, fast restore.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import run_protocol
+from repro.metrics.table import Column, ResultTable, fmt_float, fmt_mib
+
+APPROACHES = ("nondedup", "naive", "har", "mfdedup")
+DATASETS = ("web", "mix")
+
+
+def run(scale: str = "quick") -> str:
+    table = ResultTable(
+        title=f"Fig. 2 — motivation on WEB and MIX (scale={scale})",
+        columns=[
+            Column("dataset", align="<"),
+            Column("approach", align="<"),
+            Column("dedup ratio", format=fmt_float(2)),
+            Column("restore MiB/s", format=fmt_mib()),
+            Column("mean read amp", format=fmt_float(2)),
+        ],
+    )
+    for dataset_name in DATASETS:
+        for approach in APPROACHES:
+            result = run_protocol(approach, dataset_name, scale)
+            table.add_row(
+                dataset_name.upper(),
+                approach,
+                result.dedup_ratio,
+                result.restore_speed,
+                result.mean_read_amplification,
+            )
+    return table.render()
+
+
+def main() -> None:
+    print(run("quick"))
+
+
+if __name__ == "__main__":
+    main()

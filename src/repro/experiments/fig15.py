@@ -1,0 +1,84 @@
+"""Fig. 15 — sensitivity analysis of GCCDF's designs (§6.5).
+
+On the MIX dataset:
+
+* panel (a): mean read amplification for segment sizes {10, 25, 50, 100,
+  200} containers under the proposed packing, plus the random-packing
+  ablation at the default segment size;
+* panel (b): GCCDF's GC time (analyze + sweep) per round for each segment
+  size;
+* panels (c)/(d)/(e): involved / reclaimed / produced containers per GC
+  round for each segment size.
+
+Expected shape: very small segments hinder defragmentation (clusters get
+chopped at segment boundaries → higher read amplification and more GC work
+in later rounds); random packing costs ≈20 % extra read amplification while
+barely moving the GC-side numbers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import run_protocol
+from repro.metrics.table import Column, ResultTable, fmt_float
+
+DATASET = "mix"
+SEGMENT_SIZES = (10, 25, 50, 100, 200)
+
+
+def _variants(scale: str):
+    """(label, result) pairs for every sensitivity configuration."""
+    for segment_size in SEGMENT_SIZES:
+        result = run_protocol(
+            "gccdf", DATASET, scale, segment_size=segment_size
+        )
+        yield f"seg={segment_size}", result
+    result = run_protocol("gccdf", DATASET, scale, packing="random")
+    yield "random packing", result
+
+
+def run(scale: str = "quick") -> str:
+    variants = list(_variants(scale))
+
+    amp_table = ResultTable(
+        title=f"Fig. 15(a) — read amplification vs segment size / packing, MIX (scale={scale})",
+        columns=[
+            Column("configuration", align="<"),
+            Column("mean read amp", format=fmt_float(3)),
+        ],
+    )
+    for label, result in variants:
+        amp_table.add_row(label, result.mean_read_amplification)
+
+    time_table = ResultTable(
+        title="Fig. 15(b) — GCCDF time per GC round (ms: analyze + sweep)",
+        columns=[Column("configuration", align="<"), Column("per-round ms", align="<")],
+    )
+    for label, result in variants:
+        per_round = [
+            f"{(r.analyze_seconds + r.sweep_read_seconds + r.sweep_write_seconds) * 1000:.1f}"
+            for r in result.gc_reports
+        ]
+        time_table.add_row(label, " ".join(per_round))
+
+    container_tables = []
+    for panel, field in (("c", "involved_containers"), ("d", "reclaimed_containers"), ("e", "produced_containers")):
+        table = ResultTable(
+            title=f"Fig. 15({panel}) — {field.replace('_', ' ')} per GC round",
+            columns=[Column("configuration", align="<"), Column("per-round", align="<")],
+        )
+        for label, result in variants:
+            table.add_row(
+                label,
+                " ".join(str(getattr(r, field)) for r in result.gc_reports),
+            )
+        container_tables.append(table.render())
+
+    return "\n\n".join([amp_table.render(), time_table.render(), *container_tables])
+
+
+def main() -> None:
+    print(run("quick"))
+
+
+if __name__ == "__main__":
+    main()

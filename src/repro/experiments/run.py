@@ -1,0 +1,80 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.run --figure fig11 --scale full
+    python -m repro.experiments.run --all --scale quick
+    repro-experiments --figure table01          # console script
+
+Figures sharing protocol runs (11–14) reuse each other's results within one
+invocation, so ``--all`` costs barely more than the slowest single figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import common  # noqa: F401  (re-exported scales)
+from repro.experiments import (
+    ablations,
+    fig02,
+    fig03,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table01,
+)
+
+EXPERIMENTS = {
+    "table01": table01.run,
+    "fig02": fig02.run,
+    "fig03": fig03.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "ablations": ablations.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the GCCDF paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--figure",
+        choices=sorted(EXPERIMENTS),
+        action="append",
+        help="experiment id (repeatable); see DESIGN.md's experiment index",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(common.SCALES),
+        default="quick",
+        help="fidelity level (quick=seconds, full=the paper's protocol)",
+    )
+    args = parser.parse_args(argv)
+
+    selected = sorted(EXPERIMENTS) if args.all else (args.figure or [])
+    if not selected:
+        parser.error("pass --figure <id> (repeatable) or --all")
+
+    for name in selected:
+        started = time.perf_counter()
+        print(EXPERIMENTS[name](args.scale))
+        elapsed = time.perf_counter() - started
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

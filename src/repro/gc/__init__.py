@@ -1,0 +1,30 @@
+"""Mark–sweep garbage collection (paper §2.4).
+
+The mark stage traverses recipes to build the *VC table* (valid chunks), the
+*GS list* (containers with reclaimable space) and *RRT* (container → live
+backups referencing it, §5.5).  The sweep stage copies valid chunks forward
+into new containers and deletes the old ones.  The migration order during
+sweep is pluggable — :class:`NaiveMigration` preserves scan order, while
+:class:`repro.core.GCCDFMigration` reorders chunks for defragmentation.
+"""
+
+from repro.gc.vc_table import VCTable, ExactVCTable, BloomVCTable, make_vc_table
+from repro.gc.mark import MarkStage, MarkResult
+from repro.gc.migration import MigrationStrategy, MigrationResult, NaiveMigration, SweepContext
+from repro.gc.report import GCReport
+from repro.gc.engine import MarkSweepGC
+
+__all__ = [
+    "VCTable",
+    "ExactVCTable",
+    "BloomVCTable",
+    "make_vc_table",
+    "MarkStage",
+    "MarkResult",
+    "MigrationStrategy",
+    "MigrationResult",
+    "NaiveMigration",
+    "SweepContext",
+    "GCReport",
+    "MarkSweepGC",
+]

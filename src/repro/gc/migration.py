@@ -1,0 +1,148 @@
+"""Sweep-stage migration: the pluggable heart of GC.
+
+The sweep copies valid chunks out of reclaimable containers into new ones.
+*Which order the valid chunks are written in* is the entire difference
+between classic GC and GCCDF — so the engine delegates exactly that to a
+:class:`MigrationStrategy`:
+
+* :class:`NaiveMigration` (here) preserves container scan order — the
+  paper's Naïve/Capping/HAR/SMR configurations all sweep this way;
+* :class:`repro.core.gccdf.GCCDFMigration` reorders chunks per §4/§5.
+
+Shared mechanics (validity checks, deleting old containers, index updates)
+live in :func:`partition_container` and :func:`reclaim_container` so
+strategies stay focused on ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.config import SystemConfig
+from repro.gc.mark import MarkResult
+from repro.index.fingerprint_index import FingerprintIndex
+from repro.index.recipe import RecipeStore
+from repro.model import ChunkRef
+from repro.simio.disk import DiskModel
+from repro.storage.store import ContainerStore
+from repro.storage.writer import ContainerWriter
+from repro.util.timer import Stopwatch
+
+
+@dataclass
+class SweepContext:
+    """Everything a migration strategy may consult or mutate."""
+
+    config: SystemConfig
+    store: ContainerStore
+    index: FingerprintIndex
+    recipes: RecipeStore
+    disk: DiskModel
+    mark: MarkResult
+    #: Wall-clock CPU time of reordering analysis (informational).
+    analyze_watch: Stopwatch = field(default_factory=Stopwatch)
+    #: Analyzer/Planner operation count (membership probes + chunk moves);
+    #: converted to simulated seconds via ``gccdf.analyze_op_cost`` for the
+    #: Fig. 14 breakdown, so analyze time shares the I/O stages' currency.
+    analyze_ops: int = 0
+    #: Effective analyze-stage parallelism: §5.5 notes segments are fully
+    #: independent, so a strategy may set this to min(workers, segments)
+    #: and the engine divides the simulated analyze time accordingly.
+    analyze_parallelism: int = 1
+
+
+@dataclass
+class MigrationResult:
+    """Sweep accounting used by :class:`repro.gc.report.GCReport`."""
+
+    #: Containers confirmed to hold invalid chunks and reclaimed.
+    reclaimed_ids: list[int] = field(default_factory=list)
+    #: New containers produced by copy-forward.
+    produced_ids: list[int] = field(default_factory=list)
+    #: Valid bytes copied forward.
+    migrated_bytes: int = 0
+    #: Invalid bytes whose space was reclaimed.
+    reclaimed_bytes: int = 0
+    #: Valid chunks migrated.
+    migrated_chunks: int = 0
+
+
+class MigrationStrategy(Protocol):
+    """Orders and executes the copy-forward phase of the sweep."""
+
+    name: str
+
+    def migrate(self, ctx: SweepContext) -> MigrationResult: ...
+
+
+def partition_container(ctx: SweepContext, container_id: int) -> tuple[list[ChunkRef], int]:
+    """Split one container's entries by validity (metadata only, no I/O).
+
+    Returns ``(valid_entries, invalid_bytes)``.  With a Bloom VC table a dead
+    chunk may test valid and be retained — safe, never the reverse.
+    """
+    container = ctx.store.peek(container_id)
+    valid: list[ChunkRef] = []
+    invalid_bytes = 0
+    for entry in container.entries:
+        if entry.fp in ctx.mark.vc_table:
+            valid.append(entry)
+        else:
+            invalid_bytes += entry.size
+    return valid, invalid_bytes
+
+
+def reclaim_container(
+    ctx: SweepContext,
+    result: MigrationResult,
+    container_id: int,
+    valid: list[ChunkRef],
+    invalid_bytes: int,
+    writer: ContainerWriter,
+) -> None:
+    """Copy ``valid`` forward out of ``container_id`` and delete it.
+
+    Charges the sweep-read (one full container read, skipped when nothing is
+    valid — metadata already told us there is nothing to copy), relocates
+    index entries, drops invalid keys, and updates ``result``.
+    """
+    payload_source = None
+    if valid:
+        payload_source = ctx.store.read_container(container_id)
+    container = ctx.store.peek(container_id)
+    for entry in container.entries:
+        if entry.fp not in ctx.mark.vc_table:
+            ctx.index.discard(entry.fp)
+    for entry in valid:
+        payload = payload_source.payload(entry.fp) if payload_source is not None else None
+        new_container = writer.append(entry, payload)
+        ctx.index.relocate(entry.fp, new_container)
+        result.migrated_bytes += entry.size
+        result.migrated_chunks += 1
+    ctx.store.delete_container(container_id)
+    result.reclaimed_ids.append(container_id)
+    result.reclaimed_bytes += invalid_bytes
+
+
+class NaiveMigration:
+    """Scan-order copy-forward: classic mark–sweep (paper §2.4).
+
+    Containers are processed in GS-list order; within each container valid
+    chunks keep their relative order.  No attempt is made to co-locate
+    related chunks — fragmentation survives the sweep, which is precisely
+    the behaviour GCCDF improves on.
+    """
+
+    name = "naive"
+
+    def migrate(self, ctx: SweepContext) -> MigrationResult:
+        result = MigrationResult()
+        writer = ContainerWriter(ctx.store)
+        for container_id in ctx.mark.gs_list:
+            valid, invalid_bytes = partition_container(ctx, container_id)
+            if invalid_bytes == 0:
+                continue  # involved but fully valid: nothing to reclaim
+            reclaim_container(ctx, result, container_id, valid, invalid_bytes, writer)
+        result.produced_ids = writer.flush()
+        return result

@@ -1,0 +1,77 @@
+"""The VC table: which chunk copies are still valid.
+
+Paper §2.4: "The mark stage generates [the] VC table (e.g., Bloom filter or
+bit-vector) that records all valid chunks."  Both variants are provided:
+
+* :class:`ExactVCTable` — a hash set; precise, memory ∝ live chunks.
+* :class:`BloomVCTable` — a Bloom filter; compact, but false positives make
+  GC occasionally *retain* a dead chunk (never the reverse, so safety —
+  no live chunk is ever dropped — is preserved by construction).
+
+Keys are storage keys, so each physical copy's validity is tracked
+independently, which is what rewriting baselines need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from repro.errors import ConfigError
+from repro.hashing.bloom import BloomFilter
+
+
+class VCTable(Protocol):
+    """Membership interface the sweep stage probes."""
+
+    def add(self, key: bytes) -> None: ...
+
+    def __contains__(self, key: bytes) -> bool: ...
+
+
+class ExactVCTable:
+    """Precise valid-chunk set."""
+
+    def __init__(self) -> None:
+        self._keys: set[bytes] = set()
+
+    def add(self, key: bytes) -> None:
+        self._keys.add(key)
+
+    def update(self, keys: Iterable[bytes]) -> None:
+        self._keys.update(keys)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class BloomVCTable:
+    """Bloom-filter valid-chunk set (false positives retain dead chunks)."""
+
+    def __init__(self, expected_keys: int, fp_rate: float = 0.001):
+        if expected_keys <= 0:
+            raise ConfigError("expected_keys must be positive")
+        self._filter = BloomFilter(capacity=expected_keys, fp_rate=fp_rate, salt=b"vc-table")
+
+    def add(self, key: bytes) -> None:
+        self._filter.add(key)
+
+    def update(self, keys: Iterable[bytes]) -> None:
+        self._filter.update(keys)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._filter
+
+    def __len__(self) -> int:
+        return len(self._filter)
+
+
+def make_vc_table(kind: str, expected_keys: int) -> ExactVCTable | BloomVCTable:
+    """Build the VC-table variant selected by ``SystemConfig.vc_table``."""
+    if kind == "exact":
+        return ExactVCTable()
+    if kind == "bloom":
+        return BloomVCTable(expected_keys=max(1, expected_keys))
+    raise ConfigError(f"unknown vc_table kind {kind!r}")

@@ -1,0 +1,19 @@
+"""Fingerprinting and probabilistic membership structures."""
+
+from repro.hashing.fingerprints import (
+    FINGERPRINT_SIZE,
+    fingerprint,
+    fingerprint_hex,
+    short_fp,
+    synthetic_fingerprint,
+)
+from repro.hashing.bloom import BloomFilter
+
+__all__ = [
+    "FINGERPRINT_SIZE",
+    "fingerprint",
+    "fingerprint_hex",
+    "short_fp",
+    "synthetic_fingerprint",
+    "BloomFilter",
+]

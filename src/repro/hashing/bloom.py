@@ -1,0 +1,95 @@
+"""A classic Bloom filter over byte-string keys.
+
+Used in two places, both from the paper:
+
+* the mark stage's *VC table* variant (§2.4 notes the VC table may be "Bloom
+  filter or bitvector");
+* the Analyzer's per-recipe reference filters (§5.3 optimization ①), which
+  turn "is chunk c referenced by backup b?" into an O(k) probe instead of a
+  recipe scan.
+
+The implementation uses the standard Kirsch–Mitzenmacher double-hashing
+construction: two 64-bit halves of a BLAKE2b digest generate all ``k`` probe
+positions.  Determinism matters here (tests, reproducible experiments), so no
+randomised salts are involved unless the caller passes one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+from repro.errors import ConfigError
+
+
+class BloomFilter:
+    """Fixed-capacity Bloom filter with a target false-positive rate.
+
+    Parameters
+    ----------
+    capacity:
+        Expected number of distinct keys.  Inserting more than this degrades
+        the false-positive rate but never causes false negatives.
+    fp_rate:
+        Target false-positive probability at ``capacity`` insertions.
+    salt:
+        Optional domain-separation salt mixed into the hash, so that several
+        filters over the same keys (e.g. one per backup recipe) do not share
+        collision patterns.
+    """
+
+    __slots__ = ("capacity", "fp_rate", "num_bits", "num_hashes", "_bits", "_salt", "count")
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01, salt: bytes = b""):
+        if capacity <= 0:
+            raise ConfigError("bloom capacity must be positive")
+        if not (0.0 < fp_rate < 1.0):
+            raise ConfigError("bloom fp_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        num_bits = max(8, int(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        self.num_bits = num_bits
+        self.num_hashes = max(1, round(num_bits / capacity * math.log(2)))
+        self._bits = bytearray((num_bits + 7) // 8)
+        self._salt = salt
+        self.count = 0
+
+    def _probes(self, key: bytes) -> Iterable[int]:
+        digest = hashlib.blake2b(key, digest_size=16, salt=self._salt[:16]).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        bits = self.num_bits
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % bits
+
+    def add(self, key: bytes) -> None:
+        """Insert ``key``."""
+        for position in self._probes(key):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self.count += 1
+
+    def update(self, keys: Iterable[bytes]) -> None:
+        """Insert every key in ``keys``."""
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(self._bits[p >> 3] & (1 << (p & 7)) for p in self._probes(key))
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory footprint of the bit array."""
+        return len(self._bits)
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set — a health indicator for over-full filters."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits
+
+    def expected_fp_rate(self) -> float:
+        """Current false-positive probability estimate from the fill ratio."""
+        return self.fill_ratio() ** self.num_hashes

@@ -1,0 +1,53 @@
+"""Chunk fingerprinting.
+
+The paper fingerprints chunks with SHA-1 (§6.1).  Fingerprints are plain
+20-byte :class:`bytes` values throughout the library — a deliberate choice:
+they are hashable, compact, compare in C, and sidestep wrapper-object
+overhead on the hot ingest path.
+
+Two producers exist:
+
+* :func:`fingerprint` — SHA-1 over real chunk bytes (byte-level pipeline).
+* :func:`synthetic_fingerprint` — SHA-1 over a logical chunk identity, used
+  by the workload generators that emit chunk-reference streams without
+  materialising content (DESIGN.md §4, "two ingestion granularities").
+
+Both produce values from the same 20-byte space, so every layer below
+chunking treats them identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: SHA-1 digest size in bytes.
+FINGERPRINT_SIZE = 20
+
+
+def fingerprint(data: bytes) -> bytes:
+    """SHA-1 fingerprint of real chunk content."""
+    return hashlib.sha1(data).digest()
+
+
+def fingerprint_hex(fp: bytes) -> str:
+    """Full hex rendering of a fingerprint."""
+    return fp.hex()
+
+
+def short_fp(fp: bytes) -> str:
+    """Abbreviated hex rendering for logs and reprs (first 5 bytes)."""
+    return fp[:5].hex()
+
+
+def synthetic_fingerprint(namespace: str, identity: int, version: int = 0) -> bytes:
+    """Fingerprint of a *logical* chunk.
+
+    Workload models identify a chunk by ``(namespace, identity, version)``;
+    two logical chunks are duplicates exactly when those triples match, which
+    is how the generators control the dedup structure of a dataset.  The
+    mapping into the 20-byte space is collision-resistant (SHA-1 of the
+    triple), so synthetic streams interoperate with every real component
+    (index, Bloom filters, VC table).
+    """
+    payload = f"{namespace}\x00{identity}\x00{version}".encode("utf-8")
+    return hashlib.sha1(payload).digest()

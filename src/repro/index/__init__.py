@@ -1,0 +1,6 @@
+"""Metadata: the fingerprint index and backup recipes (paper §2.2)."""
+
+from repro.index.fingerprint_index import FingerprintIndex
+from repro.index.recipe import Recipe, RecipeStore
+
+__all__ = ["FingerprintIndex", "Recipe", "RecipeStore"]

@@ -1,0 +1,87 @@
+"""The fingerprint index: fingerprint → physical placement.
+
+This is the dedup system's central metadata structure: ingest probes it to
+detect duplicates, restore resolves each recipe entry through it to a
+container, and GC *rewrites* it when migration moves chunks.  That recipes
+store only fingerprints while the index owns placements is the design
+decision (DESIGN.md §4) that lets GCCDF reorder chunks during GC without
+touching a single recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import UnknownChunkError
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """Where a unique chunk currently lives."""
+
+    container_id: int
+    size: int
+
+
+class FingerprintIndex:
+    """Mutable map fingerprint → :class:`Placement`."""
+
+    def __init__(self) -> None:
+        self._entries: dict[bytes, Placement] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def lookup(self, fp: bytes) -> Placement | None:
+        """Duplicate-detection probe; counts hit statistics."""
+        self.lookups += 1
+        placement = self._entries.get(fp)
+        if placement is not None:
+            self.hits += 1
+        return placement
+
+    def get(self, fp: bytes) -> Placement:
+        """Resolve a fingerprint that must exist (restore path)."""
+        placement = self._entries.get(fp)
+        if placement is None:
+            raise UnknownChunkError(f"fingerprint {fp.hex()[:10]}… not in index")
+        return placement
+
+    def insert(self, fp: bytes, container_id: int, size: int) -> None:
+        """Record a newly stored unique chunk."""
+        self._entries[fp] = Placement(container_id=container_id, size=size)
+
+    def relocate(self, fp: bytes, container_id: int) -> None:
+        """Update placement after GC migrates a chunk."""
+        old = self._entries.get(fp)
+        if old is None:
+            raise UnknownChunkError(f"cannot relocate unknown fingerprint {fp.hex()[:10]}…")
+        self._entries[fp] = Placement(container_id=container_id, size=old.size)
+
+    def remove(self, fp: bytes) -> None:
+        """Forget an invalid chunk reclaimed by GC."""
+        if fp not in self._entries:
+            raise UnknownChunkError(f"cannot remove unknown fingerprint {fp.hex()[:10]}…")
+        del self._entries[fp]
+
+    def discard(self, fp: bytes) -> None:
+        """Forget a chunk if present (idempotent form of :meth:`remove`)."""
+        self._entries.pop(fp, None)
+
+    def __contains__(self, fp: bytes) -> bool:
+        return fp in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[tuple[bytes, Placement]]:
+        return iter(self._entries.items())
+
+    @property
+    def unique_bytes(self) -> int:
+        """Total logical bytes of unique chunks currently indexed."""
+        return sum(p.size for p in self._entries.values())
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

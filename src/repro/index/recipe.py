@@ -1,0 +1,127 @@
+"""Backup recipes and their store.
+
+A *recipe* (paper §2.2, step ④) is the ordered list of chunk references that
+make up one deduplicated backup image; restoring the backup means resolving
+every entry through the fingerprint index and reading the containers.
+
+Deletion is *logical* (paper §2.4): a deleted backup's recipe is retained but
+marked dead; physical space comes back only when GC discovers chunks no live
+recipe references.  The store therefore tracks three populations — live,
+logically deleted (awaiting GC), and purged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import BackupAlreadyDeletedError, UnknownBackupError
+from repro.model import ChunkRef
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """One backup's recipe: identity plus its ordered chunk references."""
+
+    backup_id: int
+    entries: tuple[ChunkRef, ...]
+    #: Which workload source produced this backup (e.g. 'wiki', 'redis-0');
+    #: purely informational, used by experiment reports.
+    source: str = ""
+
+    @property
+    def logical_size(self) -> int:
+        """The backup's pre-dedup size in bytes."""
+        return sum(entry.size for entry in self.entries)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.entries)
+
+    def fingerprints(self) -> Iterator[bytes]:
+        """Fingerprints in stream order (with duplicates, as stored)."""
+        for entry in self.entries:
+            yield entry.fp
+
+    def unique_fingerprints(self) -> set[bytes]:
+        return {entry.fp for entry in self.entries}
+
+
+class RecipeStore:
+    """All recipes known to the system, with logical-deletion state."""
+
+    def __init__(self) -> None:
+        self._recipes: dict[int, Recipe] = {}
+        self._deleted: set[int] = set()
+        self._next_id = 0
+
+    def new_backup_id(self) -> int:
+        backup_id = self._next_id
+        self._next_id += 1
+        return backup_id
+
+    def add(self, recipe: Recipe) -> None:
+        if recipe.backup_id in self._recipes:
+            raise UnknownBackupError(f"backup {recipe.backup_id} already stored")
+        self._recipes[recipe.backup_id] = recipe
+
+    def get(self, backup_id: int) -> Recipe:
+        recipe = self._recipes.get(backup_id)
+        if recipe is None:
+            raise UnknownBackupError(f"backup {backup_id} unknown")
+        return recipe
+
+    def mark_deleted(self, backup_id: int) -> None:
+        """Logically delete a backup (its recipe stays until GC purges it)."""
+        if backup_id not in self._recipes:
+            raise UnknownBackupError(f"backup {backup_id} unknown")
+        if backup_id in self._deleted:
+            raise BackupAlreadyDeletedError(f"backup {backup_id} already deleted")
+        self._deleted.add(backup_id)
+
+    def is_live(self, backup_id: int) -> bool:
+        return backup_id in self._recipes and backup_id not in self._deleted
+
+    def is_deleted(self, backup_id: int) -> bool:
+        return backup_id in self._deleted
+
+    def purge_deleted(self) -> list[Recipe]:
+        """Drop logically deleted recipes (called at the end of GC); returns
+        the purged recipes so GC reports can account them."""
+        purged = [self._recipes.pop(backup_id) for backup_id in sorted(self._deleted)]
+        self._deleted.clear()
+        return purged
+
+    def live_ids(self) -> list[int]:
+        """Ids of live backups, ascending (== ingest order)."""
+        return sorted(b for b in self._recipes if b not in self._deleted)
+
+    def deleted_ids(self) -> list[int]:
+        """Ids of logically deleted, not-yet-purged backups, ascending."""
+        return sorted(self._deleted)
+
+    def live_recipes(self) -> Iterator[Recipe]:
+        for backup_id in self.live_ids():
+            yield self._recipes[backup_id]
+
+    def deleted_recipes(self) -> Iterator[Recipe]:
+        for backup_id in self.deleted_ids():
+            yield self._recipes[backup_id]
+
+    def __len__(self) -> int:
+        """Number of live backups."""
+        return len(self._recipes) - len(self._deleted)
+
+    def __contains__(self, backup_id: int) -> bool:
+        return self.is_live(backup_id)
+
+    def live_logical_bytes(self) -> int:
+        """Sum of live backups' pre-dedup sizes (dedup-ratio numerator)."""
+        return sum(recipe.logical_size for recipe in self.live_recipes())
+
+    def referenced_fingerprints(self, backup_ids: Iterable[int]) -> set[bytes]:
+        """Union of fingerprints referenced by the given backups."""
+        fps: set[bytes] = set()
+        for backup_id in backup_ids:
+            fps.update(self.get(backup_id).fingerprints())
+        return fps

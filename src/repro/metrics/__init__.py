@@ -1,0 +1,6 @@
+"""Result collection and text rendering for the experiment harness."""
+
+from repro.metrics.table import Column, ResultTable
+from repro.metrics.series import bucket_means, series_summary
+
+__all__ = ["Column", "ResultTable", "bucket_means", "series_summary"]

@@ -1,0 +1,43 @@
+"""Helpers for per-backup series (the Fig. 12/15 curves)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def bucket_means(values: Sequence[float], num_buckets: int) -> list[float]:
+    """Compress a series into ``num_buckets`` equal-width bucket means.
+
+    Used to print Fig. 12-style curves (80 per-backup read-amplification
+    values) as a handful of readable columns.  Buckets cover the series in
+    order; a short final bucket averages whatever remains.
+    """
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    if not values:
+        return []
+    size = max(1, math.ceil(len(values) / num_buckets))
+    return [
+        sum(values[start : start + size]) / len(values[start : start + size])
+        for start in range(0, len(values), size)
+    ]
+
+
+def series_summary(values: Sequence[float]) -> dict[str, float]:
+    """min/mean/median/max of a series (empty series → zeros)."""
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "median": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    median = (
+        ordered[mid]
+        if len(ordered) % 2
+        else (ordered[mid - 1] + ordered[mid]) / 2.0
+    )
+    return {
+        "min": ordered[0],
+        "mean": sum(ordered) / len(ordered),
+        "median": median,
+        "max": ordered[-1],
+    }

@@ -1,0 +1,77 @@
+"""Plain-text result tables.
+
+Every experiment prints the rows/series its paper figure reports; the
+benchmarks capture the same tables into ``bench_output.txt``.  The renderer
+is dependency-free and aligns columns for terminal reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+@dataclass(frozen=True)
+class Column:
+    """One table column: header plus a formatter for cell values."""
+
+    header: str
+    format: Callable[[Any], str] = str
+    align: str = ">"  # numbers right-align by default
+
+    def render(self, value: Any) -> str:
+        return self.format(value)
+
+
+@dataclass
+class ResultTable:
+    """An append-only table rendered with aligned columns."""
+
+    title: str
+    columns: Sequence[Column]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        headers = [column.header for column in self.columns]
+        rendered_rows = [
+            [column.render(value) for column, value in zip(self.columns, row)]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rendered_rows:
+            cells = []
+            for column, cell, width in zip(self.columns, row, widths):
+                cells.append(cell.rjust(width) if column.align == ">" else cell.ljust(width))
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()
+
+
+def fmt_float(digits: int = 2) -> Callable[[Any], str]:
+    """Formatter factory for fixed-precision floats."""
+    def _fmt(value: Any) -> str:
+        return f"{value:.{digits}f}"
+    return _fmt
+
+
+def fmt_mib() -> Callable[[Any], str]:
+    """Formatter for byte/second rates rendered as MiB/s."""
+    def _fmt(value: Any) -> str:
+        return f"{value / (1024 * 1024):.1f}"
+    return _fmt

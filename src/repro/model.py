@@ -1,0 +1,56 @@
+"""Core data model shared by every layer.
+
+The unit of deduplication is the *chunk*.  Above the chunking layer a chunk
+is always handled by reference — a :class:`ChunkRef` carrying its SHA-1
+fingerprint and logical size — while raw bytes, when they exist at all, live
+only briefly inside the ingest and restore pipelines (:class:`Chunk`).
+Keeping the reference type tiny and hashable is what lets the experiments
+push hundreds of thousands of chunks through ingest/GC/restore quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hashing.fingerprints import short_fp
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkRef:
+    """A chunk identity: fingerprint plus logical size in bytes.
+
+    Equality and hashing are by value, so a ``set[ChunkRef]`` or
+    ``dict[ChunkRef, ...]`` deduplicates exactly like a fingerprint index.
+    Two refs with equal fingerprints are the same chunk (the library treats
+    SHA-1 collisions as impossible, as the paper's systems do).
+    """
+
+    fp: bytes
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"chunk size must be >= 0, got {self.size}")
+
+    def __repr__(self) -> str:
+        return f"ChunkRef({short_fp(self.fp)}…, {self.size}B)"
+
+
+@dataclass(frozen=True, slots=True)
+class Chunk:
+    """A materialised chunk: its reference plus content bytes.
+
+    Only the byte-level pipeline (real chunking of real data) produces these;
+    the trace-level pipeline used by the large experiments never does.
+    """
+
+    ref: ChunkRef
+    data: bytes
+
+    @property
+    def fp(self) -> bytes:
+        return self.ref.fp
+
+    @property
+    def size(self) -> int:
+        return self.ref.size

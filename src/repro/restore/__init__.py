@@ -1,0 +1,7 @@
+"""Backup restoration with container-granular reads."""
+
+from repro.restore.engine import RestoreEngine
+from repro.restore.assembly import AssemblyRestoreEngine
+from repro.restore.report import RestoreReport
+
+__all__ = ["RestoreEngine", "AssemblyRestoreEngine", "RestoreReport"]

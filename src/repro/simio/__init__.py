@@ -1,0 +1,14 @@
+"""Simulated storage I/O: cost model and counters.
+
+This package stands in for the paper's physical testbed (see DESIGN.md §1).
+Every container read/write in the library is routed through a
+:class:`DiskModel`, which charges simulated seconds and updates
+:class:`IOStats`; restoration speed and GC I/O time are then computed from
+the accumulated simulated time, exactly as the paper computes them from
+wall-clock time on real SSDs.
+"""
+
+from repro.simio.disk import DiskModel
+from repro.simio.stats import IOStats
+
+__all__ = ["DiskModel", "IOStats"]

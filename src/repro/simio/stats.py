@@ -1,0 +1,62 @@
+"""I/O accounting counters.
+
+:class:`IOStats` is a plain accumulator: reads/writes, bytes moved, and the
+simulated seconds those operations cost under the :class:`~repro.simio.disk.
+DiskModel`.  Components snapshot and diff these counters to attribute I/O to
+phases (restore, sweep-read, sweep-write, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOStats:
+    """Mutable counters for one device (or one phase, when diffed)."""
+
+    read_ops: int = 0
+    read_bytes: int = 0
+    write_ops: int = 0
+    write_bytes: int = 0
+    read_seconds: float = 0.0
+    write_seconds: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def total_seconds(self) -> float:
+        return self.read_seconds + self.write_seconds
+
+    def snapshot(self) -> "IOStats":
+        """An immutable-by-convention copy of the current counters."""
+        return IOStats(
+            read_ops=self.read_ops,
+            read_bytes=self.read_bytes,
+            write_ops=self.write_ops,
+            write_bytes=self.write_bytes,
+            read_seconds=self.read_seconds,
+            write_seconds=self.write_seconds,
+        )
+
+    def since(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated after ``earlier`` was snapshotted."""
+        return IOStats(
+            read_ops=self.read_ops - earlier.read_ops,
+            read_bytes=self.read_bytes - earlier.read_bytes,
+            write_ops=self.write_ops - earlier.write_ops,
+            write_bytes=self.write_bytes - earlier.write_bytes,
+            read_seconds=self.read_seconds - earlier.read_seconds,
+            write_seconds=self.write_seconds - earlier.write_seconds,
+        )
+
+    def merge(self, other: "IOStats") -> None:
+        """Add another accumulator's counters into this one."""
+        self.read_ops += other.read_ops
+        self.read_bytes += other.read_bytes
+        self.write_ops += other.write_ops
+        self.write_bytes += other.write_bytes
+        self.read_seconds += other.read_seconds
+        self.write_seconds += other.write_seconds

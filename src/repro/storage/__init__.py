@@ -1,0 +1,13 @@
+"""Container-based storage layout (paper §2.1).
+
+Backup storage writes chunks into large, immutable, fixed-capacity
+*containers* — the fundamental I/O unit.  Reading any chunk means reading its
+whole container, which is what turns fragmentation into read amplification.
+"""
+
+from repro.storage.container import Container
+from repro.storage.store import ContainerStore
+from repro.storage.writer import ContainerWriter
+from repro.storage.cache import ContainerCache
+
+__all__ = ["Container", "ContainerStore", "ContainerWriter", "ContainerCache"]

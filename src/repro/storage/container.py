@@ -1,0 +1,93 @@
+"""The container data structure.
+
+A container is an append-until-sealed, then immutable, collection of chunks
+with a fixed byte capacity (4 MiB in the paper).  Immutability is the
+property that forces garbage collection to *copy forward* valid chunks
+rather than overwrite invalid ones in place (§2.4), which is the hook GCCDF
+piggybacks on.
+
+Containers optionally carry chunk payload bytes.  The byte-level pipeline
+stores them (so restore can return real data); the trace-level pipeline used
+by the large experiments does not, and all accounting works purely on sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ContainerFullError, ContainerSealedError
+from repro.model import ChunkRef
+
+
+class Container:
+    """One container: an ordered list of chunk entries within a capacity."""
+
+    __slots__ = ("container_id", "capacity", "entries", "used_bytes", "sealed", "_payloads")
+
+    def __init__(self, container_id: int, capacity: int):
+        self.container_id = container_id
+        self.capacity = capacity
+        self.entries: list[ChunkRef] = []
+        self.used_bytes = 0
+        self.sealed = False
+        self._payloads: dict[bytes, bytes] | None = None
+
+    def fits(self, size: int) -> bool:
+        """Would a chunk of ``size`` bytes fit without exceeding capacity?"""
+        return self.used_bytes + size <= self.capacity
+
+    def append(self, ref: ChunkRef, payload: bytes | None = None) -> None:
+        """Append a chunk entry (and optionally its bytes).
+
+        Raises :class:`ContainerSealedError` after :meth:`seal`, and
+        :class:`ContainerFullError` if the chunk does not fit — callers are
+        expected to check :meth:`fits` and roll over to a new container.
+        """
+        if self.sealed:
+            raise ContainerSealedError(f"container {self.container_id} is sealed")
+        if not self.fits(ref.size):
+            raise ContainerFullError(
+                f"chunk of {ref.size}B does not fit in container {self.container_id} "
+                f"({self.used_bytes}/{self.capacity}B used)"
+            )
+        self.entries.append(ref)
+        self.used_bytes += ref.size
+        if payload is not None:
+            if self._payloads is None:
+                self._payloads = {}
+            self._payloads[ref.fp] = payload
+
+    def seal(self) -> None:
+        """Make the container immutable.  Sealing twice is a no-op."""
+        self.sealed = True
+
+    def payload(self, fp: bytes) -> bytes | None:
+        """Stored bytes for ``fp``, or None when running payload-free."""
+        if self._payloads is None:
+            return None
+        return self._payloads.get(fp)
+
+    def has_payloads(self) -> bool:
+        return bool(self._payloads)
+
+    def fingerprints(self) -> set[bytes]:
+        """The set of distinct fingerprints held by this container."""
+        return {entry.fp for entry in self.entries}
+
+    def __iter__(self) -> Iterator[ChunkRef]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity occupied by chunk bytes."""
+        return self.used_bytes / self.capacity if self.capacity else 0.0
+
+    def __repr__(self) -> str:
+        state = "sealed" if self.sealed else "open"
+        return (
+            f"Container(id={self.container_id}, {len(self.entries)} chunks, "
+            f"{self.used_bytes}/{self.capacity}B, {state})"
+        )

@@ -1,0 +1,61 @@
+"""Sequential container writer.
+
+Chunks surviving dedup (and chunks migrated by GC) are appended to an open
+container; when the next chunk would overflow, the container is sealed,
+committed to the store, and a fresh one is opened.  The writer reports each
+chunk's placement so callers can update the fingerprint index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.model import ChunkRef
+from repro.storage.container import Container
+from repro.storage.store import ContainerStore
+
+#: Callback invoked as ``on_commit(container)`` whenever a container seals.
+CommitHook = Callable[[Container], None]
+
+
+class ContainerWriter:
+    """Fills containers sequentially from a stream of chunks."""
+
+    def __init__(self, store: ContainerStore, on_commit: CommitHook | None = None):
+        self.store = store
+        self._on_commit = on_commit
+        self._open: Container | None = None
+        self.committed_ids: list[int] = []
+
+    def append(self, ref: ChunkRef, payload: bytes | None = None) -> int:
+        """Write one chunk; returns the id of the container it landed in."""
+        if self._open is not None and not self._open.fits(ref.size):
+            self._commit_open()
+        if self._open is None:
+            self._open = self.store.allocate()
+        self._open.append(ref, payload)
+        return self._open.container_id
+
+    def _commit_open(self) -> None:
+        container = self._open
+        self._open = None
+        assert container is not None
+        self.store.commit(container)
+        if container.entries:
+            self.committed_ids.append(container.container_id)
+            if self._on_commit is not None:
+                self._on_commit(container)
+
+    def flush(self) -> list[int]:
+        """Seal any open container; returns ids of all containers committed
+        through this writer so far."""
+        if self._open is not None and self._open.entries:
+            self._commit_open()
+        elif self._open is not None:
+            self._open = None
+        return list(self.committed_ids)
+
+    @property
+    def open_container_id(self) -> int | None:
+        """Id of the currently open (unsealed) container, if any."""
+        return self._open.container_id if self._open is not None else None

@@ -1,0 +1,153 @@
+"""Operator CLI: generate traces, simulate approaches, inspect layouts.
+
+Three subcommands, usable as ``python -m repro.tools <cmd>`` or the
+``repro`` console script:
+
+* ``trace`` — materialise a dataset preset into a portable trace file
+  (``repro trace --dataset mix --out mix.trace.gz``), or report statistics
+  of an existing trace (``--stats``).
+* ``simulate`` — run the rotation protocol for one approach over a preset
+  or a trace file and print the result summary
+  (``repro simulate --approach gccdf --dataset web``).
+* ``inspect`` — run a small simulation and dump the analysis views:
+  fragmentation profile, ownership stats, container purity, and (for small
+  systems) the ASCII layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.fragmentation import fragmentation_profile
+from repro.analysis.layout import ownership_histogram, render_layout
+from repro.analysis.ownership import container_purity, mean_purity, ownership_stats
+from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.driver import RotationDriver
+from repro.config import SystemConfig
+from repro.util.units import format_bytes
+from repro.workloads.datasets import DATASET_NAMES, dataset
+from repro.workloads.trace import load_trace, save_trace, trace_stats
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=DATASET_NAMES, help="dataset preset")
+    parser.add_argument("--trace", help="trace file to replay instead of a preset")
+    parser.add_argument("--scale", type=float, default=0.25, help="workload scale")
+    parser.add_argument("--backups", type=int, default=40, help="number of backups")
+    parser.add_argument("--seed", type=int, default=2025, help="dataset seed")
+
+
+def _workload(args: argparse.Namespace):
+    if args.trace:
+        return load_trace(args.trace)
+    if not args.dataset:
+        raise SystemExit("pass --dataset <preset> or --trace <file>")
+    return dataset(
+        args.dataset, scale=args.scale, num_backups=args.backups, seed=args.seed
+    )
+
+
+def _make_config(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig.scaled(retained=args.retained, turnover=args.turnover)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.stats:
+        stats = trace_stats(args.stats)
+        print(f"backups:             {stats['backups']}")
+        print(f"chunks:              {stats['chunks']}")
+        print(f"logical bytes:       {format_bytes(stats['logical_bytes'])}")
+        print(f"unique fingerprints: {stats['unique_fingerprints']}")
+        return 0
+    if not args.out:
+        raise SystemExit("pass --out <file> (or --stats <file>)")
+    count = save_trace(args.out, _workload(args))
+    print(f"wrote {count} backups to {args.out}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    service = make_service(args.approach, config)
+    driver = RotationDriver(service, config.retention, dataset_name=args.dataset or "trace")
+    result = driver.run(_workload(args))
+    print(f"approach:            {result.approach}")
+    print(f"backups ingested:    {len(result.ingest_reports)}")
+    print(f"dedup ratio:         {result.dedup_ratio:.2f}")
+    print(f"mean read amp:       {result.mean_read_amplification:.2f}")
+    print(f"restore speed:       {result.restore_speed / (1 << 20):.1f} MiB/s (simulated)")
+    print(f"GC rounds:           {len(result.gc_reports)}")
+    for report in result.gc_reports:
+        print(f"  {report.summary()}")
+    print(f"final physical size: {format_bytes(result.physical_bytes)}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    config = _make_config(args)
+    service = make_service(args.approach, config)
+    driver = RotationDriver(service, config.retention, dataset_name=args.dataset or "trace")
+    driver.run(_workload(args))
+
+    stats = ownership_stats(service)
+    print(stats.describe())
+    purities = container_purity(service)
+    print(f"containers: {len(purities)}, byte-weighted mean ownership purity "
+          f"{mean_purity(purities):.2f}")
+    live = service.live_backup_ids()
+    if live:
+        for backup_id in (live[0], live[-1]):
+            profile = fragmentation_profile(service, backup_id)
+            print(
+                f"backup {backup_id}: amp {profile.read_amplification:.2f}, "
+                f"{profile.containers_touched} containers, "
+                f"mean utilization {profile.mean_utilization:.2f}"
+            )
+    print()
+    print(ownership_histogram(service))
+    if len(service.store) <= args.layout_limit:
+        print()
+        print(render_layout(service))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GCCDF reproduction toolbox (trace / simulate / inspect).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser("trace", help="write or inspect a backup trace")
+    _add_workload_args(trace)
+    trace.add_argument("--out", help="output trace path (.gz supported)")
+    trace.add_argument("--stats", help="print statistics of an existing trace")
+    trace.set_defaults(func=cmd_trace)
+
+    for name, handler in (("simulate", cmd_simulate), ("inspect", cmd_inspect)):
+        command = sub.add_parser(name, help=f"{name} an approach over a workload")
+        _add_workload_args(command)
+        command.add_argument(
+            "--approach", choices=APPROACHES, default="gccdf", help="backup approach"
+        )
+        command.add_argument("--retained", type=int, default=20, help="retention window")
+        command.add_argument("--turnover", type=int, default=5, help="deletions per round")
+        if name == "inspect":
+            command.add_argument(
+                "--layout-limit",
+                type=int,
+                default=40,
+                help="render the ASCII layout when at most this many containers",
+            )
+        command.set_defaults(func=handler)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

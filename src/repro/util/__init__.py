@@ -1,0 +1,26 @@
+"""Small shared utilities: units, deterministic RNG, stopwatches."""
+
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    format_bytes,
+    format_duration,
+    parse_size,
+)
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.timer import Stopwatch
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "format_bytes",
+    "format_duration",
+    "parse_size",
+    "DeterministicRng",
+    "derive_seed",
+    "Stopwatch",
+]

@@ -1,0 +1,51 @@
+"""Wall/CPU stopwatch used to account the Analyze stage of GCCDF.
+
+The paper's GC time breakdown mixes two kinds of cost: I/O stages whose cost
+we take from the simulated disk model, and the Analyze stage whose cost is
+real CPU work done by the Analyzer/Planner.  :class:`Stopwatch` measures the
+latter with ``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Stopwatch:
+    """Accumulates elapsed wall-clock seconds across multiple timed regions."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        """Begin a timed region; nested starts are an error."""
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the current region, returning its duration in seconds."""
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        duration = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += duration
+        return duration
+
+    @contextmanager
+    def timed(self) -> Iterator["Stopwatch"]:
+        """Context manager form: ``with watch.timed(): ...``."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    def reset(self) -> None:
+        """Zero the accumulated time (must not be running)."""
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch running; stop it before reset")
+        self.elapsed = 0.0

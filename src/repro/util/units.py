@@ -1,0 +1,89 @@
+"""Byte-size units and human-readable formatting helpers.
+
+The storage literature (and this library) uses binary units throughout:
+a "4 MB container" in the paper is 4 MiB here.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+_SUFFIXES = ("B", "KiB", "MiB", "GiB", "TiB", "PiB")
+
+_PARSE_UNITS = {
+    "b": 1,
+    "k": KIB,
+    "kb": KIB,
+    "kib": KIB,
+    "m": MIB,
+    "mb": MIB,
+    "mib": MIB,
+    "g": GIB,
+    "gb": GIB,
+    "gib": GIB,
+    "t": TIB,
+    "tb": TIB,
+    "tib": TIB,
+}
+
+
+def format_bytes(n: int | float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``format_bytes(4 * MIB)
+    == '4.0 MiB'``.
+
+    Negative values are rendered with a leading minus sign.
+    """
+    sign = "-" if n < 0 else ""
+    value = float(abs(n))
+    for suffix in _SUFFIXES:
+        if value < 1024.0 or suffix == _SUFFIXES[-1]:
+            if suffix == "B":
+                return f"{sign}{int(value)} B"
+            return f"{sign}{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly: ``'431 ms'``, ``'12.3 s'``, ``'4 m 05 s'``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1.0:
+        return f"{seconds * 1000.0:.0f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.1f} s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 120:
+        return f"{int(minutes)} m {secs:02.0f} s"
+    hours, minutes = divmod(minutes, 60.0)
+    return f"{int(hours)} h {int(minutes):02d} m"
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human size string (``'4MiB'``, ``'64 KB'``, ``'100'``) to bytes.
+
+    Integers pass through unchanged.  All units are binary (KB == KiB == 1024),
+    matching the convention used across the library.
+    """
+    if isinstance(text, int):
+        return text
+    stripped = text.strip().lower().replace(" ", "")
+    if not stripped:
+        raise ConfigError("empty size string")
+    digits = ""
+    index = 0
+    while index < len(stripped) and (stripped[index].isdigit() or stripped[index] == "."):
+        digits += stripped[index]
+        index += 1
+    unit = stripped[index:]
+    if not digits:
+        raise ConfigError(f"size string has no numeric part: {text!r}")
+    if unit and unit not in _PARSE_UNITS:
+        raise ConfigError(f"unknown size unit {unit!r} in {text!r}")
+    multiplier = _PARSE_UNITS.get(unit, 1)
+    return int(float(digits) * multiplier)

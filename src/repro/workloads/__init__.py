@@ -1,0 +1,44 @@
+"""Workload generators for the paper's datasets (Table 1 + §3.1's WEB).
+
+Real multi-hundred-GB snapshot corpora are not shippable; these generators
+reproduce their *dedup structure* instead (see DESIGN.md §1): seeded source
+models maintain an evolving file tree and emit each backup as a deterministic
+chunk-reference stream.  Churn (modify/create/delete rates), file-size
+distributions, source interleaving and backup counts are chosen per preset to
+match each dataset's description and the behaviours the paper reports (e.g.
+multi-source interleaving is what breaks MFDedup on WIKI/CODE/MIX/SYN).
+"""
+
+from repro.workloads.sizes import ChunkSizeSampler
+from repro.workloads.source import MutationProfile, MutatingSource
+from repro.workloads.datasets import (
+    Dataset,
+    DATASET_NAMES,
+    dataset,
+    web,
+    wiki,
+    code,
+    mix,
+    syn,
+)
+from repro.workloads.bytesgen import expand_chunk, synthetic_backup_bytes
+from repro.workloads.trace import load_trace, save_trace, trace_stats
+
+__all__ = [
+    "ChunkSizeSampler",
+    "MutationProfile",
+    "MutatingSource",
+    "Dataset",
+    "DATASET_NAMES",
+    "dataset",
+    "web",
+    "wiki",
+    "code",
+    "mix",
+    "syn",
+    "expand_chunk",
+    "synthetic_backup_bytes",
+    "load_trace",
+    "save_trace",
+    "trace_stats",
+]

@@ -1,0 +1,69 @@
+"""Deterministic byte expansion for byte-level runs.
+
+The trace-level generators emit chunk *references*; when an example or test
+wants to exercise the real chunker + payload-carrying pipeline end to end, it
+needs actual bytes.  :func:`expand_chunk` expands a logical chunk identity
+into deterministic pseudo-random content of the right length, and
+:func:`synthetic_backup_bytes` builds whole version-to-version-similar backup
+images the way the trace model does — so FastCDC re-finds the shared regions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+def expand_chunk(namespace: str, identity: int, version: int, size: int) -> bytes:
+    """Deterministic pseudo-random bytes for one logical chunk.
+
+    Built by chaining BLAKE2b blocks from the chunk's identity, so equal
+    identities yield equal bytes and any version bump changes all of them.
+    """
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    seed = f"{namespace}/{identity}/{version}".encode("utf-8")
+    blocks: list[bytes] = []
+    counter = 0
+    produced = 0
+    while produced < size:
+        block = hashlib.blake2b(seed + counter.to_bytes(8, "big"), digest_size=64).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:size]
+
+
+def synthetic_backup_bytes(
+    seed: int,
+    version: int,
+    size: int,
+    region_size: int = 8192,
+    churn: float = 0.1,
+) -> bytes:
+    """A backup image of ``size`` bytes whose successive versions share data.
+
+    The image is a sequence of ``region_size`` regions; between version
+    ``v`` and ``v+1`` each region mutates independently with probability
+    ``churn``.  A region's content depends only on the version at which it
+    last mutated, so unchanged regions are byte-identical across versions —
+    exactly what content-defined chunking needs to find duplicates.
+    """
+    if not (0.0 <= churn <= 1.0):
+        raise ValueError("churn must be in [0, 1]")
+    if size <= 0:
+        return b""
+    pieces: list[bytes] = []
+    num_regions = -(-size // region_size)
+    for region in range(num_regions):
+        # Replay the region's mutation history to find its last-change version.
+        rng = DeterministicRng(derive_seed(seed, "region", region))
+        last_changed = 0
+        for v in range(1, version + 1):
+            if rng.chance(churn):
+                last_changed = v
+        pieces.append(
+            expand_chunk(f"img{seed}", region, last_changed, region_size)
+        )
+    return b"".join(pieces)[:size]

@@ -1,0 +1,43 @@
+"""Chunk-size sampling for trace-level workloads.
+
+FastCDC output sizes are roughly a shifted exponential truncated at the
+maximum: cut points arrive as a Poisson process after the minimum size, with
+normalized chunking pulling mass toward the average.  The sampler mimics that
+shape — ``min + Exp(mean = avg - min)`` clipped to ``max`` — so trace-level
+streams fill containers the way byte-level FastCDC streams do.
+"""
+
+from __future__ import annotations
+
+from repro.config import ChunkingConfig
+from repro.util.rng import DeterministicRng
+
+
+class ChunkSizeSampler:
+    """Draws chunk sizes matching a :class:`ChunkingConfig`'s geometry."""
+
+    def __init__(self, config: ChunkingConfig, rng: DeterministicRng):
+        config.validate()
+        self.config = config
+        self._rng = rng
+        self._scale = max(1.0, float(config.avg_size - config.min_size))
+
+    def sample(self) -> int:
+        """One chunk size in ``[min_size, max_size]`` with mean ≈ avg_size."""
+        size = self.config.min_size + int(self._rng.expovariate(1.0 / self._scale))
+        return min(size, self.config.max_size)
+
+    def sample_total(self, total_bytes: int) -> list[int]:
+        """Sizes summing to ≈ ``total_bytes`` (last chunk absorbs the slack,
+        still clipped to the configured bounds)."""
+        sizes: list[int] = []
+        remaining = total_bytes
+        while remaining > 0:
+            size = self.sample()
+            if size >= remaining:
+                size = max(self.config.min_size, min(remaining, self.config.max_size))
+                sizes.append(size)
+                break
+            sizes.append(size)
+            remaining -= size
+        return sizes

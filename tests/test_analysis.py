@@ -1,0 +1,174 @@
+"""Tests for the analysis package: fragmentation, ownership, layout, GC stats."""
+
+import pytest
+
+from repro.analysis.fragmentation import fragmentation_profile, system_fragmentation
+from repro.analysis.gcstats import produced_ratio, summarize_gc_history
+from repro.analysis.layout import ownership_histogram, render_layout
+from repro.analysis.ownership import (
+    container_purity,
+    mean_purity,
+    ownership_stats,
+)
+from repro.backup.system import DedupBackupService
+from repro.core.gccdf import GCCDFMigration
+
+from tests.conftest import refs
+
+
+@pytest.fixture
+def service(tiny_config) -> DedupBackupService:
+    return DedupBackupService(config=tiny_config)
+
+
+class TestFragmentationProfile:
+    def test_fresh_backup_is_unfragmented(self, service):
+        result = service.ingest(refs("f", range(32)))
+        profile = fragmentation_profile(service, result.backup_id)
+        assert profile.read_amplification == pytest.approx(1.0)
+        assert profile.mean_utilization == pytest.approx(1.0)
+        assert profile.containers_touched == 4  # 32 × 512 B / 4 KiB
+
+    def test_partial_sharing_shows_low_utilization(self, service):
+        service.ingest(refs("f", range(32)))
+        second = service.ingest(refs("f", range(0, 32, 4)))
+        profile = fragmentation_profile(service, second.backup_id)
+        assert profile.read_amplification > 2.0
+        assert profile.mean_utilization < 0.5
+
+    def test_matches_restore_accounting(self, service):
+        """The metadata profile must equal the restore engine's measurement
+        under the read-once model."""
+        service.ingest(refs("f", range(32)))
+        second = service.ingest(refs("f", list(range(0, 32, 2)) + list(range(50, 58))))
+        profile = fragmentation_profile(service, second.backup_id)
+        report = service.restore(second.backup_id)
+        assert profile.read_amplification == pytest.approx(report.read_amplification)
+        assert profile.containers_touched == report.containers_read
+
+    def test_worst_containers_sorted(self, service):
+        service.ingest(refs("f", range(32)))
+        second = service.ingest(refs("f", list(range(0, 8)) + [16]))
+        profile = fragmentation_profile(service, second.backup_id)
+        worst = profile.worst_containers(2)
+        assert worst[0].utilization <= worst[-1].utilization
+
+    def test_system_fragmentation_covers_live(self, service):
+        a = service.ingest(refs("f", range(8)))
+        b = service.ingest(refs("f", range(4, 12)))
+        profiles = system_fragmentation(service)
+        assert set(profiles) == {a.backup_id, b.backup_id}
+
+    def test_utilization_summary_keys(self, service):
+        result = service.ingest(refs("f", range(8)))
+        summary = fragmentation_profile(service, result.backup_id).utilization_summary()
+        assert set(summary) == {"min", "mean", "median", "max"}
+
+
+class TestOwnershipAnalytics:
+    def test_single_backup_single_group(self, service):
+        service.ingest(refs("o", range(16)))
+        stats = ownership_stats(service)
+        assert stats.distinct_ownerships == 1
+        assert stats.total_chunks == 16
+        assert "1 ownership" in stats.describe()
+
+    def test_sharing_creates_groups(self, service):
+        service.ingest(refs("o", range(16)))
+        service.ingest(refs("o", range(8, 24)))
+        stats = ownership_stats(service)
+        # {b0}, {b0,b1}, {b1}
+        assert stats.distinct_ownerships == 3
+
+    def test_container_purity_of_fresh_ingest(self, service):
+        service.ingest(refs("o", range(32)))
+        purities = container_purity(service)
+        assert all(p.dominant_share == pytest.approx(1.0) for p in purities)
+        assert mean_purity(purities) == pytest.approx(1.0)
+
+    def test_purity_drops_with_mixed_ownership(self, service):
+        service.ingest(refs("o", range(32)))
+        service.ingest(refs("o", range(0, 32, 2)))
+        purities = container_purity(service)
+        assert any(p.distinct_ownerships > 1 for p in purities)
+        assert mean_purity(purities) < 1.0
+
+    def test_gccdf_gc_raises_purity(self, tiny_config):
+        outcomes = {}
+        from repro.gc.migration import NaiveMigration
+
+        for name, migration in (("naive", NaiveMigration()), ("gccdf", GCCDFMigration())):
+            service = DedupBackupService(config=tiny_config, migration=migration)
+            base = service.ingest(refs("o", range(64)))
+            service.ingest(refs("o", [i for i in range(64) if i % 4 in (0, 1)]))
+            service.ingest(refs("o", [i for i in range(64) if i % 4 in (0, 2)]))
+            service.delete_backup(base.backup_id)
+            service.run_gc()
+            outcomes[name] = mean_purity(container_purity(service))
+        assert outcomes["gccdf"] > outcomes["naive"]
+
+    def test_empty_system(self, service):
+        assert ownership_stats(service).total_chunks == 0
+        assert container_purity(service) == []
+        assert mean_purity([]) == 0.0
+
+
+class TestLayoutRendering:
+    def test_render_contains_containers_and_legend(self, service):
+        service.ingest(refs("l", range(16)))
+        text = render_layout(service)
+        assert "container" in text
+        assert "legend" in text
+        assert "A" in text
+
+    def test_max_containers_truncates(self, service):
+        service.ingest(refs("l", range(32)))  # 4 containers
+        text = render_layout(service, max_containers=2)
+        assert "more containers" in text
+
+    def test_dead_chunks_render_as_dots(self, service):
+        first = service.ingest(refs("l", range(8)))
+        service.ingest(refs("l", range(4, 12)))
+        service.delete_backup(first.backup_id)  # chunks 0..3 now unreferenced
+        text = render_layout(service)
+        assert "." in text.splitlines()[0]
+
+    def test_histogram(self, service):
+        service.ingest(refs("l", range(8)))
+        service.ingest(refs("l", range(4, 12)))
+        text = ownership_histogram(service)
+        assert "owners" in text
+        assert "█" in text
+
+    def test_histogram_empty(self, service):
+        assert "no referenced chunks" in ownership_histogram(service)
+
+
+class TestGCStats:
+    def _run_rounds(self, service):
+        first = service.ingest(refs("g", range(32)))
+        service.ingest(refs("g", range(0, 32, 2)))
+        service.delete_backup(first.backup_id)
+        service.run_gc()
+        return service
+
+    def test_summary_totals(self, service):
+        self._run_rounds(service)
+        summary = summarize_gc_history(service.gc_history)
+        assert summary.rounds == 1
+        assert summary.backups_purged == 1
+        assert summary.reclaimed_containers > 0
+        assert summary.total_seconds > 0
+        assert "GC rounds" in summary.describe()
+
+    def test_empty_history(self):
+        summary = summarize_gc_history([])
+        assert summary.rounds == 0
+        assert summary.total_seconds == 0.0
+
+    def test_produced_ratio(self, service):
+        self._run_rounds(service)
+        summary = summarize_gc_history(service.gc_history)
+        assert produced_ratio(summary, summary) == pytest.approx(1.0)
+        empty = summarize_gc_history([])
+        assert produced_ratio(empty, summary) == 0.0

@@ -1,0 +1,121 @@
+"""Tests for the forward-assembly-area restore engine."""
+
+import pytest
+
+from repro.backup.system import DedupBackupService
+from repro.errors import ConfigError
+from repro.restore.assembly import AssemblyRestoreEngine
+
+from tests.conftest import refs
+
+
+@pytest.fixture
+def service(tiny_config) -> DedupBackupService:
+    return DedupBackupService(config=tiny_config)
+
+
+def engine(service, assembly_bytes) -> AssemblyRestoreEngine:
+    return AssemblyRestoreEngine(
+        store=service.store,
+        index=service.index,
+        recipes=service.recipes,
+        disk=service.disk,
+        assembly_bytes=assembly_bytes,
+    )
+
+
+class TestAssemblyRestore:
+    def test_large_area_matches_read_once_model(self, service):
+        """An FAA covering the whole backup equals the default engine."""
+        result = service.ingest(refs("a", range(64)))
+        faa = engine(service, assembly_bytes=64 * 512).restore(result.backup_id)
+        read_once = service.restore(result.backup_id)
+        assert faa.container_bytes_read == read_once.container_bytes_read
+        assert faa.read_amplification == pytest.approx(read_once.read_amplification)
+
+    def test_small_area_rereads_straddling_containers(self, service):
+        """With sharing that interleaves two backups' chunks, a small FAA
+        must re-read containers across spans → amplification rises."""
+        service.ingest(refs("a", range(64)))
+        second = service.ingest(refs("a", list(range(0, 64, 2)) + list(range(100, 116))))
+        small = engine(service, assembly_bytes=4 * 512).restore(second.backup_id)
+        large = engine(service, assembly_bytes=64 * 512).restore(second.backup_id)
+        assert small.container_bytes_read > large.container_bytes_read
+
+    def test_sequential_backup_immune_to_small_area(self, service):
+        """A perfectly sequential backup never re-reads, however small the
+        area: each container's chunks are contiguous in the recipe."""
+        result = service.ingest(refs("a", range(64)))
+        small = engine(service, assembly_bytes=8 * 512).restore(result.backup_id)
+        assert small.read_amplification == pytest.approx(1.0)
+
+    def test_area_smaller_than_chunk_still_progresses(self, service):
+        result = service.ingest(refs("a", range(8)))
+        report = engine(service, assembly_bytes=100).restore(result.backup_id)
+        assert report.num_chunks == 8
+        assert report.container_bytes_read > 0
+
+    def test_monotone_in_area_size(self, service):
+        service.ingest(refs("a", range(64)))
+        second = service.ingest(refs("a", list(range(0, 64, 2)) + list(range(100, 116))))
+        reads = [
+            engine(service, assembly_bytes=n * 512).restore(second.backup_id).container_bytes_read
+            for n in (2, 8, 32, 64)
+        ]
+        assert reads == sorted(reads, reverse=True)
+
+    def test_rejects_nonpositive_area(self, service):
+        with pytest.raises(ConfigError):
+            engine(service, assembly_bytes=0)
+
+    def test_gccdf_layout_not_worse_under_small_faa(self, tiny_config):
+        """Layout quality matters more under FAA pressure (ablation claim);
+        at toy scale the comparison may tie, so assert non-inferiority (the
+        strict win is asserted by the restore-cache ablation at scale)."""
+        from repro.core.gccdf import GCCDFMigration
+        from repro.gc.migration import NaiveMigration
+
+        reads = {}
+        for name, migration in (("naive", NaiveMigration()), ("gccdf", GCCDFMigration())):
+            service = DedupBackupService(config=tiny_config, migration=migration)
+            base = service.ingest(refs("a", range(64)))
+            a = service.ingest(refs("a", [i for i in range(64) if i % 4 in (0, 1)]))
+            b = service.ingest(refs("a", [i for i in range(64) if i % 4 in (0, 2)]))
+            service.delete_backup(base.backup_id)
+            service.run_gc()
+            faa = engine(service, assembly_bytes=8 * 512)
+            reads[name] = (
+                faa.restore(a.backup_id).container_bytes_read
+                + faa.restore(b.backup_id).container_bytes_read
+            )
+        assert reads["gccdf"] <= reads["naive"]
+
+
+class TestMemoryEstimates:
+    """The paper's §5.5 sizing arguments, as executable accounting."""
+
+    def test_rrt_estimate_scales_with_referencers(self, service):
+        first = service.ingest(refs("m", range(16)))
+        service.ingest(refs("m", range(0, 16, 2)))
+        service.delete_backup(first.backup_id)
+        from repro.gc.mark import MarkStage
+
+        mark = MarkStage(service.config, service.index, service.recipes, service.disk).run()
+        estimate = mark.rrt_bytes_estimate()
+        assert estimate > 0
+        # 16-byte header + 8 bytes per referencing backup, per GS container.
+        assert estimate == sum(16 + 8 * len(b) for b in mark.rrt.values())
+
+    def test_tree_estimate_tracks_leaves_and_chunks(self, tiny_config):
+        from repro.config import GCCDFConfig
+        from repro.core.analyzer import Analyzer, ReferenceChecker
+
+        service = DedupBackupService(config=tiny_config)
+        service.ingest(refs("m", range(16)))
+        service.ingest(refs("m", range(8, 24)))
+        config = GCCDFConfig(exact_reference_check=True, split_denial_threshold=0)
+        analyzer = Analyzer(ReferenceChecker(service.recipes, config), config)
+        keys = [e for e in service.recipes.get(0).entries]
+        clusters = analyzer.cluster(list(keys), (0, 1))
+        expected = 80 * len(clusters) + 8 * len(keys)
+        assert analyzer.estimated_tree_bytes() == expected

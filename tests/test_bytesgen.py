@@ -1,0 +1,67 @@
+"""Tests for deterministic byte expansion (workloads.bytesgen)."""
+
+import pytest
+
+from repro.workloads.bytesgen import expand_chunk, synthetic_backup_bytes
+
+
+class TestExpandChunk:
+    def test_exact_length(self):
+        for size in (0, 1, 63, 64, 65, 4096):
+            assert len(expand_chunk("ns", 1, 0, size)) == size
+
+    def test_deterministic(self):
+        assert expand_chunk("ns", 7, 3, 1000) == expand_chunk("ns", 7, 3, 1000)
+
+    def test_identity_sensitivity(self):
+        assert expand_chunk("ns", 1, 0, 256) != expand_chunk("ns", 2, 0, 256)
+
+    def test_version_sensitivity(self):
+        assert expand_chunk("ns", 1, 0, 256) != expand_chunk("ns", 1, 1, 256)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            expand_chunk("ns", 1, 0, -1)
+
+    def test_content_is_not_trivially_compressible(self):
+        """Pseudo-random output: no long runs of a single byte."""
+        data = expand_chunk("ns", 1, 0, 4096)
+        assert len(set(data)) > 200
+
+
+class TestSyntheticBackupBytes:
+    def test_exact_size(self):
+        assert len(synthetic_backup_bytes(seed=1, version=0, size=10_000)) == 10_000
+
+    def test_deterministic(self):
+        a = synthetic_backup_bytes(seed=1, version=3, size=50_000)
+        b = synthetic_backup_bytes(seed=1, version=3, size=50_000)
+        assert a == b
+
+    def test_zero_churn_means_identical_versions(self):
+        v0 = synthetic_backup_bytes(seed=2, version=0, size=20_000, churn=0.0)
+        v5 = synthetic_backup_bytes(seed=2, version=5, size=20_000, churn=0.0)
+        assert v0 == v5
+
+    def test_full_churn_changes_everything_each_version(self):
+        v0 = synthetic_backup_bytes(seed=2, version=0, size=20_000, churn=1.0)
+        v1 = synthetic_backup_bytes(seed=2, version=1, size=20_000, churn=1.0)
+        # Every region mutates every version → no shared region content.
+        assert v0 != v1
+
+    def test_moderate_churn_shares_most_regions(self):
+        region = 1024
+        v0 = synthetic_backup_bytes(seed=3, version=0, size=64 * region, churn=0.1, region_size=region)
+        v1 = synthetic_backup_bytes(seed=3, version=1, size=64 * region, churn=0.1, region_size=region)
+        shared = sum(
+            v0[i : i + region] == v1[i : i + region]
+            for i in range(0, len(v0), region)
+        )
+        assert shared >= 45  # ≈ 90 % of 64 regions
+
+    def test_churn_bounds_validated(self):
+        with pytest.raises(ValueError):
+            synthetic_backup_bytes(seed=1, version=0, size=100, churn=1.5)
+
+    def test_empty(self):
+        assert synthetic_backup_bytes(seed=1, version=0, size=0) == b""

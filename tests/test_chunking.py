@@ -1,0 +1,134 @@
+"""Unit tests for FastCDC, fixed chunking, and the stream helpers."""
+
+import io
+
+import pytest
+
+from repro.chunking.base import chunk_stream, reassemble, split
+from repro.chunking.fastcdc import FastCDC
+from repro.chunking.fixed import FixedChunker
+from repro.chunking.gear import gear_table
+from repro.config import ChunkingConfig
+from repro.errors import ChunkingError
+from repro.util.rng import DeterministicRng
+
+
+def random_bytes(n: int, seed: int = 1) -> bytes:
+    rng = DeterministicRng(seed)
+    return bytes(rng.randint(0, 255) for _ in range(n))
+
+
+SMALL_CONFIG = ChunkingConfig(min_size=64, avg_size=256, max_size=1024)
+
+
+class TestGearTable:
+    def test_length_and_width(self):
+        table = gear_table(123)
+        assert len(table) == 256
+        assert all(0 <= v < 1 << 64 for v in table)
+
+    def test_seed_determinism(self):
+        assert gear_table(1) == gear_table(1)
+        assert gear_table(1) != gear_table(2)
+
+
+class TestFastCDC:
+    def test_reassembly_is_identity(self):
+        data = random_bytes(50_000)
+        chunks = list(split(FastCDC(SMALL_CONFIG), data))
+        assert reassemble(chunks) == data
+
+    def test_size_bounds(self):
+        data = random_bytes(100_000)
+        chunks = list(split(FastCDC(SMALL_CONFIG), data))
+        # Every chunk except the last respects the minimum.
+        assert all(c.size >= SMALL_CONFIG.min_size for c in chunks[:-1])
+        assert all(c.size <= SMALL_CONFIG.max_size for c in chunks)
+
+    def test_average_size_near_target(self):
+        data = random_bytes(400_000)
+        chunks = list(split(FastCDC(SMALL_CONFIG), data))
+        mean = sum(c.size for c in chunks) / len(chunks)
+        assert SMALL_CONFIG.avg_size * 0.5 <= mean <= SMALL_CONFIG.avg_size * 2.0
+
+    def test_determinism(self):
+        data = random_bytes(30_000)
+        first = [c.ref for c in split(FastCDC(SMALL_CONFIG), data)]
+        second = [c.ref for c in split(FastCDC(SMALL_CONFIG), data)]
+        assert first == second
+
+    def test_boundary_shift_resistance(self):
+        """Inserting a prefix must leave most downstream chunks intact —
+        the CDC property that fixed-size chunking lacks (paper §5.5)."""
+        data = random_bytes(120_000)
+        shifted = random_bytes(137, seed=2) + data
+        cdc = FastCDC(SMALL_CONFIG)
+        original = {c.fp for c in split(cdc, data)}
+        after = {c.fp for c in split(cdc, shifted)}
+        shared = len(original & after)
+        assert shared / len(original) > 0.8
+
+    def test_fixed_chunking_suffers_boundary_shift(self):
+        data = random_bytes(120_000)
+        shifted = random_bytes(137, seed=2) + data
+        fixed = FixedChunker(256)
+        original = {c.fp for c in split(fixed, data)}
+        after = {c.fp for c in split(fixed, shifted)}
+        shared = len(original & after)
+        assert shared / len(original) < 0.2
+
+    def test_tiny_input_single_chunk(self):
+        data = b"abc"
+        chunks = list(split(FastCDC(SMALL_CONFIG), data))
+        assert len(chunks) == 1
+        assert chunks[0].data == data
+
+    def test_empty_input_yields_nothing(self):
+        assert list(split(FastCDC(SMALL_CONFIG), b"")) == []
+
+    def test_rejects_negative_normalization(self):
+        with pytest.raises(ChunkingError):
+            FastCDC(SMALL_CONFIG, normalization=-1)
+
+    def test_cut_rejects_empty_window(self):
+        with pytest.raises(ChunkingError):
+            FastCDC(SMALL_CONFIG).cut(b"abc", 2, 2)
+
+
+class TestFixedChunker:
+    def test_exact_division(self):
+        chunks = list(split(FixedChunker(100), bytes(1000)))
+        assert [c.size for c in chunks] == [100] * 10
+
+    def test_remainder_chunk(self):
+        chunks = list(split(FixedChunker(300), bytes(1000)))
+        assert [c.size for c in chunks] == [300, 300, 300, 100]
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ChunkingError):
+            FixedChunker(0)
+
+
+class TestChunkStream:
+    def test_streamed_equals_whole_buffer(self):
+        data = random_bytes(200_000)
+        cdc = FastCDC(SMALL_CONFIG)
+        whole = [c.ref for c in split(cdc, data)]
+        streamed = [
+            c.ref for c in chunk_stream(cdc, io.BytesIO(data), read_size=4096)
+        ]
+        assert streamed == whole
+
+    def test_streamed_reassembles(self):
+        data = random_bytes(70_000)
+        cdc = FastCDC(SMALL_CONFIG)
+        assert reassemble(chunk_stream(cdc, io.BytesIO(data))) == data
+
+    def test_empty_stream(self):
+        cdc = FastCDC(SMALL_CONFIG)
+        assert list(chunk_stream(cdc, io.BytesIO(b""))) == []
+
+    def test_rejects_bad_read_size(self):
+        cdc = FastCDC(SMALL_CONFIG)
+        with pytest.raises(ChunkingError):
+            list(chunk_stream(cdc, io.BytesIO(b"data"), read_size=0))

@@ -1,0 +1,121 @@
+"""Unit tests for configuration validation and presets."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    ChunkingConfig,
+    DiskConfig,
+    GCCDFConfig,
+    RetentionConfig,
+    SystemConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestChunkingConfig:
+    def test_defaults_are_the_papers(self):
+        config = ChunkingConfig()
+        assert (config.min_size, config.avg_size, config.max_size) == (
+            1024,
+            4096,
+            32768,
+        )
+        config.validate()
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigError):
+            ChunkingConfig(min_size=8192, avg_size=4096).validate()
+
+    def test_rejects_non_power_of_two_average(self):
+        with pytest.raises(ConfigError):
+            ChunkingConfig(min_size=100, avg_size=3000, max_size=9000).validate()
+
+    def test_rejects_zero_min(self):
+        with pytest.raises(ConfigError):
+            ChunkingConfig(min_size=0).validate()
+
+
+class TestRetentionConfig:
+    def test_paper_defaults(self):
+        config = RetentionConfig()
+        assert (config.retained, config.turnover) == (100, 20)
+
+    def test_turnover_cannot_exceed_retained(self):
+        with pytest.raises(ConfigError):
+            RetentionConfig(retained=10, turnover=11).validate()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            RetentionConfig(retained=0).validate()
+
+
+class TestGCCDFConfig:
+    def test_defaults_valid(self):
+        GCCDFConfig().validate()
+
+    def test_rejects_bad_packing(self):
+        with pytest.raises(ConfigError):
+            GCCDFConfig(packing="sorted").validate()
+
+    def test_rejects_bad_segment_size(self):
+        with pytest.raises(ConfigError):
+            GCCDFConfig(segment_size=0).validate()
+
+    def test_rejects_bad_bloom_rate(self):
+        with pytest.raises(ConfigError):
+            GCCDFConfig(bloom_fp_rate=1.5).validate()
+
+    def test_negative_split_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            GCCDFConfig(split_denial_threshold=-1).validate()
+
+
+class TestDiskConfig:
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigError):
+            DiskConfig(bandwidth=0).validate()
+
+    def test_rejects_negative_seek(self):
+        with pytest.raises(ConfigError):
+            DiskConfig(seek_time=-1).validate()
+
+
+class TestSystemConfig:
+    def test_paper_preset(self):
+        config = SystemConfig.paper()
+        assert config.container_size == 4 * 1024 * 1024
+
+    def test_scaled_preset_geometry(self):
+        config = SystemConfig.scaled()
+        assert config.container_size == 128 * 1024
+        assert config.chunking.avg_size == 1024
+
+    def test_container_must_hold_max_chunk(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(container_size=16 * 1024).validate()  # max chunk 32 KiB
+
+    def test_vc_table_kind_checked(self):
+        with pytest.raises(ConfigError):
+            replace(SystemConfig.paper(), vc_table="radix").validate()
+
+    def test_restore_cache_none_allowed(self):
+        replace(SystemConfig.paper(), restore_cache_containers=None).validate()
+
+    def test_restore_cache_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            replace(SystemConfig.paper(), restore_cache_containers=0).validate()
+
+    def test_with_gccdf_override(self):
+        config = SystemConfig.scaled().with_gccdf(segment_size=7, packing="random")
+        assert config.gccdf.segment_size == 7
+        assert config.gccdf.packing == "random"
+
+    def test_with_retention_override(self):
+        config = SystemConfig.scaled().with_retention(retained=30, turnover=5)
+        assert (config.retention.retained, config.retention.turnover) == (30, 5)
+
+    def test_with_gccdf_validates(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.scaled().with_gccdf(packing="bogus")

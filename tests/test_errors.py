@@ -1,0 +1,41 @@
+"""The exception hierarchy is a public contract: everything derives from
+ReproError so callers can catch the family."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigError,
+    errors.ChunkingError,
+    errors.StorageError,
+    errors.ContainerSealedError,
+    errors.ContainerFullError,
+    errors.UnknownContainerError,
+    errors.UnknownChunkError,
+    errors.UnknownBackupError,
+    errors.BackupAlreadyDeletedError,
+    errors.GCError,
+    errors.IntegrityError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_container_errors_are_storage_errors():
+    for exc in (
+        errors.ContainerSealedError,
+        errors.ContainerFullError,
+        errors.UnknownContainerError,
+    ):
+        assert issubclass(exc, errors.StorageError)
+
+
+def test_catching_the_family():
+    with pytest.raises(errors.ReproError):
+        raise errors.UnknownChunkError("gone")

@@ -1,0 +1,51 @@
+"""The examples are part of the public contract: each must run cleanly."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = run_example(name)
+    assert output.strip()
+
+
+def test_quickstart_verifies_restores():
+    assert "byte-identical" in run_example("quickstart.py")
+
+
+def test_rotation_example_reports_identical_ratio():
+    output = run_example("backup_rotation.py")
+    assert "identical dedup ratio" in output
+
+
+def test_multi_source_example_shows_mfdedup_collapse():
+    output = run_example("multi_source_fleet.py")
+    assert "collapses" in output
+
+
+def test_anatomy_example_exposes_clusters():
+    output = run_example("defrag_anatomy.py")
+    assert "cluster owners=" in output
+    assert "GS list" in output

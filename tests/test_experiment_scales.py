@@ -1,0 +1,53 @@
+"""ExperimentScale configuration plumbing (vc-table / cache overrides)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import SCALES, ExperimentScale
+
+
+class TestScaleConfigs:
+    def test_retention_propagates(self):
+        scale = SCALES["quick"]
+        config = scale.config()
+        assert config.retention.retained == scale.retained
+        assert config.retention.turnover == scale.turnover
+
+    def test_gccdf_overrides(self):
+        config = SCALES["quick"].config(segment_size=7, packing="tree")
+        assert config.gccdf.segment_size == 7
+        assert config.gccdf.packing == "tree"
+
+    def test_vc_table_override(self):
+        config = SCALES["quick"].config(vc_table="bloom")
+        assert config.vc_table == "bloom"
+
+    def test_restore_cache_override(self):
+        config = SCALES["quick"].config(restore_cache_containers=8)
+        assert config.restore_cache_containers == 8
+
+    def test_combined_overrides(self):
+        config = SCALES["quick"].config(
+            vc_table="bloom", restore_cache_containers=4, segment_size=3
+        )
+        assert config.vc_table == "bloom"
+        assert config.restore_cache_containers == 4
+        assert config.gccdf.segment_size == 3
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ConfigError):
+            SCALES["quick"].config(vc_table="radix")
+
+    def test_num_backups_floor(self):
+        """Even tiny retention windows get at least one turnover batch."""
+        scale = ExperimentScale("t", retained=5, turnover=2, workload_scale=0.1)
+        for dataset in ("wiki", "code", "mix", "syn", "web"):
+            assert scale.num_backups(dataset) >= scale.retained + scale.turnover
+
+    def test_full_scale_matches_paper_counts(self):
+        full = SCALES["full"]
+        assert full.num_backups("wiki") == 120
+        assert full.num_backups("code") == 220
+        assert full.num_backups("mix") == 200
+        assert full.num_backups("syn") == 240
+        assert full.num_backups("web") == 120  # floor: retained + turnover

@@ -1,0 +1,65 @@
+"""FastCDC normalized-chunking behaviour: the feature that distinguishes it
+from plain gear-CDC (tighter size distribution around the average)."""
+
+import statistics
+
+from repro.chunking.base import split
+from repro.chunking.fastcdc import FastCDC, _top_bits_mask
+from repro.config import ChunkingConfig
+from repro.util.rng import DeterministicRng
+
+CONFIG = ChunkingConfig(min_size=64, avg_size=256, max_size=2048)
+
+
+def data(n=400_000, seed=4):
+    rng = DeterministicRng(seed)
+    return bytes(rng.randint(0, 255) for _ in range(n))
+
+
+class TestMasks:
+    def test_top_bits_mask_width(self):
+        assert _top_bits_mask(0) == 0
+        assert bin(_top_bits_mask(3)).count("1") == 3
+        assert _top_bits_mask(64) == (1 << 64) - 1
+        assert _top_bits_mask(100) == (1 << 64) - 1  # clamped
+
+    def test_mask_selects_msbs(self):
+        mask = _top_bits_mask(8)
+        assert mask >> 56 == 0xFF
+        assert mask & ((1 << 56) - 1) == 0
+
+    def test_strict_mask_stricter_than_loose(self):
+        chunker = FastCDC(CONFIG, normalization=2)
+        assert bin(chunker.mask_strict).count("1") > bin(chunker.mask_loose).count("1")
+
+
+class TestNormalization:
+    def test_higher_normalization_tightens_distribution(self):
+        payload = data()
+        spreads = {}
+        for level in (0, 2):
+            sizes = [c.size for c in split(FastCDC(CONFIG, normalization=level), payload)]
+            spreads[level] = statistics.pstdev(sizes) / statistics.mean(sizes)
+        assert spreads[2] < spreads[0]
+
+    def test_zero_normalization_still_valid(self):
+        payload = data(100_000)
+        chunks = list(split(FastCDC(CONFIG, normalization=0), payload))
+        assert b"".join(c.data for c in chunks) == payload
+
+    def test_gear_seed_changes_boundaries(self):
+        payload = data(100_000)
+        a = ChunkingConfig(min_size=64, avg_size=256, max_size=2048, gear_seed=1)
+        b = ChunkingConfig(min_size=64, avg_size=256, max_size=2048, gear_seed=2)
+        cuts_a = [c.size for c in split(FastCDC(a), payload)]
+        cuts_b = [c.size for c in split(FastCDC(b), payload)]
+        assert cuts_a != cuts_b
+
+    def test_max_size_forces_cut_on_pathological_data(self):
+        """Constant data never matches the gear mask; only max_size cuts."""
+        payload = bytes(50_000)
+        chunks = list(split(FastCDC(CONFIG), payload))
+        assert all(c.size <= CONFIG.max_size for c in chunks)
+        # Almost every chunk is exactly max_size (the forced cut).
+        forced = sum(1 for c in chunks if c.size == CONFIG.max_size)
+        assert forced >= len(chunks) - 1

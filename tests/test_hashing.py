@@ -1,0 +1,113 @@
+"""Unit tests for fingerprints and Bloom filters."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hashing.bloom import BloomFilter
+from repro.hashing.fingerprints import (
+    FINGERPRINT_SIZE,
+    fingerprint,
+    fingerprint_hex,
+    short_fp,
+    synthetic_fingerprint,
+)
+
+
+class TestFingerprints:
+    def test_sha1_width(self):
+        assert len(fingerprint(b"hello")) == FINGERPRINT_SIZE
+
+    def test_deterministic(self):
+        assert fingerprint(b"x") == fingerprint(b"x")
+
+    def test_content_sensitivity(self):
+        assert fingerprint(b"x") != fingerprint(b"y")
+
+    def test_hex_roundtrip(self):
+        fp = fingerprint(b"data")
+        assert bytes.fromhex(fingerprint_hex(fp)) == fp
+
+    def test_short_fp_is_prefix(self):
+        fp = fingerprint(b"data")
+        assert fingerprint_hex(fp).startswith(short_fp(fp))
+
+    def test_synthetic_width(self):
+        assert len(synthetic_fingerprint("ns", 1)) == FINGERPRINT_SIZE
+
+    def test_synthetic_identity_equality(self):
+        assert synthetic_fingerprint("ns", 5, 2) == synthetic_fingerprint("ns", 5, 2)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (("ns", 1, 0), ("ns", 2, 0)),  # identity differs
+            (("ns", 1, 0), ("ns", 1, 1)),  # version differs
+            (("ns", 1, 0), ("other", 1, 0)),  # namespace differs
+        ],
+    )
+    def test_synthetic_distinguishes(self, a, b):
+        assert synthetic_fingerprint(*a) != synthetic_fingerprint(*b)
+
+    def test_synthetic_no_delimiter_collision(self):
+        # ("a", 11) must not collide with ("a1", 1) etc.
+        assert synthetic_fingerprint("a", 11, 0) != synthetic_fingerprint("a1", 1, 0)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=1000, fp_rate=0.01)
+        keys = [fingerprint(str(i).encode()) for i in range(1000)]
+        bloom.update(keys)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(capacity=2000, fp_rate=0.01)
+        bloom.update(fingerprint(f"in-{i}".encode()) for i in range(2000))
+        probes = 5000
+        false_positives = sum(
+            fingerprint(f"out-{i}".encode()) in bloom for i in range(probes)
+        )
+        assert false_positives / probes < 0.05  # generous bound on 1% target
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(capacity=10)
+        assert fingerprint(b"anything") not in bloom
+
+    def test_salt_changes_collisions(self):
+        a = BloomFilter(capacity=50, fp_rate=0.2, salt=b"a")
+        b = BloomFilter(capacity=50, fp_rate=0.2, salt=b"b")
+        keys = [fingerprint(str(i).encode()) for i in range(50)]
+        a.update(keys)
+        b.update(keys)
+        outsiders = [fingerprint(f"o{i}".encode()) for i in range(2000)]
+        hits_a = {k for k in outsiders if k in a}
+        hits_b = {k for k in outsiders if k in b}
+        assert hits_a != hits_b  # different collision patterns
+
+    def test_len_counts_insertions(self):
+        bloom = BloomFilter(capacity=10)
+        bloom.add(b"k1" * 10)
+        bloom.add(b"k2" * 10)
+        assert len(bloom) == 2
+
+    def test_fill_ratio_monotone(self):
+        bloom = BloomFilter(capacity=100)
+        before = bloom.fill_ratio()
+        bloom.update(fingerprint(str(i).encode()) for i in range(100))
+        assert bloom.fill_ratio() > before
+
+    def test_size_bytes_positive(self):
+        assert BloomFilter(capacity=100).size_bytes > 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            BloomFilter(capacity=0)
+
+    def test_rejects_bad_fp_rate(self):
+        with pytest.raises(ConfigError):
+            BloomFilter(capacity=10, fp_rate=0.0)
+
+    def test_expected_fp_rate_reasonable(self):
+        bloom = BloomFilter(capacity=1000, fp_rate=0.01)
+        bloom.update(fingerprint(str(i).encode()) for i in range(1000))
+        assert 0.0 < bloom.expected_fp_rate() < 0.05

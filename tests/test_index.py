@@ -1,0 +1,168 @@
+"""Unit tests for the fingerprint index and recipe store."""
+
+import pytest
+
+from repro.errors import (
+    BackupAlreadyDeletedError,
+    UnknownBackupError,
+    UnknownChunkError,
+)
+from repro.hashing.fingerprints import synthetic_fingerprint
+from repro.index.fingerprint_index import FingerprintIndex
+from repro.index.recipe import Recipe, RecipeStore
+from repro.model import ChunkRef
+
+
+def fp(i: int) -> bytes:
+    return synthetic_fingerprint("idx", i)
+
+
+class TestFingerprintIndex:
+    def test_insert_lookup_roundtrip(self):
+        index = FingerprintIndex()
+        index.insert(fp(1), container_id=7, size=100)
+        placement = index.lookup(fp(1))
+        assert placement is not None
+        assert (placement.container_id, placement.size) == (7, 100)
+
+    def test_lookup_miss_returns_none(self):
+        assert FingerprintIndex().lookup(fp(1)) is None
+
+    def test_get_raises_on_missing(self):
+        with pytest.raises(UnknownChunkError):
+            FingerprintIndex().get(fp(1))
+
+    def test_relocate_preserves_size(self):
+        index = FingerprintIndex()
+        index.insert(fp(1), container_id=7, size=100)
+        index.relocate(fp(1), container_id=9)
+        placement = index.get(fp(1))
+        assert (placement.container_id, placement.size) == (9, 100)
+
+    def test_relocate_unknown_raises(self):
+        with pytest.raises(UnknownChunkError):
+            FingerprintIndex().relocate(fp(1), 3)
+
+    def test_remove(self):
+        index = FingerprintIndex()
+        index.insert(fp(1), 1, 10)
+        index.remove(fp(1))
+        assert fp(1) not in index
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(UnknownChunkError):
+            FingerprintIndex().remove(fp(1))
+
+    def test_discard_is_idempotent(self):
+        index = FingerprintIndex()
+        index.discard(fp(1))  # no error
+        index.insert(fp(1), 1, 10)
+        index.discard(fp(1))
+        index.discard(fp(1))
+        assert len(index) == 0
+
+    def test_hit_rate_tracking(self):
+        index = FingerprintIndex()
+        index.insert(fp(1), 1, 10)
+        index.lookup(fp(1))
+        index.lookup(fp(2))
+        assert index.hit_rate == pytest.approx(0.5)
+
+    def test_unique_bytes(self):
+        index = FingerprintIndex()
+        index.insert(fp(1), 1, 10)
+        index.insert(fp(2), 1, 30)
+        assert index.unique_bytes == 40
+
+
+def make_recipe(store: RecipeStore, ids, source="src") -> Recipe:
+    recipe = Recipe(
+        backup_id=store.new_backup_id(),
+        entries=tuple(ChunkRef(fp=fp(i), size=100) for i in ids),
+        source=source,
+    )
+    store.add(recipe)
+    return recipe
+
+
+class TestRecipe:
+    def test_logical_size_and_chunks(self):
+        recipe = Recipe(backup_id=0, entries=tuple(ChunkRef(fp(i), 50) for i in range(4)))
+        assert recipe.logical_size == 200
+        assert recipe.num_chunks == 4
+
+    def test_fingerprints_preserve_duplicates(self):
+        entries = (ChunkRef(fp(1), 10), ChunkRef(fp(1), 10), ChunkRef(fp(2), 10))
+        recipe = Recipe(backup_id=0, entries=entries)
+        assert len(list(recipe.fingerprints())) == 3
+        assert recipe.unique_fingerprints() == {fp(1), fp(2)}
+
+
+class TestRecipeStore:
+    def test_ids_are_sequential(self):
+        store = RecipeStore()
+        a = make_recipe(store, [1])
+        b = make_recipe(store, [2])
+        assert (a.backup_id, b.backup_id) == (0, 1)
+
+    def test_duplicate_add_rejected(self):
+        store = RecipeStore()
+        recipe = make_recipe(store, [1])
+        with pytest.raises(UnknownBackupError):
+            store.add(recipe)
+
+    def test_logical_deletion_keeps_recipe(self):
+        store = RecipeStore()
+        recipe = make_recipe(store, [1])
+        store.mark_deleted(recipe.backup_id)
+        assert not store.is_live(recipe.backup_id)
+        assert store.is_deleted(recipe.backup_id)
+        assert store.get(recipe.backup_id) is recipe  # still readable for GC
+
+    def test_double_delete_rejected(self):
+        store = RecipeStore()
+        recipe = make_recipe(store, [1])
+        store.mark_deleted(recipe.backup_id)
+        with pytest.raises(BackupAlreadyDeletedError):
+            store.mark_deleted(recipe.backup_id)
+
+    def test_delete_unknown_rejected(self):
+        with pytest.raises(UnknownBackupError):
+            RecipeStore().mark_deleted(42)
+
+    def test_purge_returns_and_clears(self):
+        store = RecipeStore()
+        a = make_recipe(store, [1])
+        make_recipe(store, [2])
+        store.mark_deleted(a.backup_id)
+        purged = store.purge_deleted()
+        assert [r.backup_id for r in purged] == [a.backup_id]
+        assert store.deleted_ids() == []
+        with pytest.raises(UnknownBackupError):
+            store.get(a.backup_id)
+
+    def test_live_ids_sorted_and_exclude_deleted(self):
+        store = RecipeStore()
+        ids = [make_recipe(store, [i]).backup_id for i in range(4)]
+        store.mark_deleted(ids[1])
+        assert store.live_ids() == [ids[0], ids[2], ids[3]]
+
+    def test_len_counts_live_only(self):
+        store = RecipeStore()
+        a = make_recipe(store, [1])
+        make_recipe(store, [2])
+        store.mark_deleted(a.backup_id)
+        assert len(store) == 1
+
+    def test_live_logical_bytes(self):
+        store = RecipeStore()
+        make_recipe(store, [1, 2])
+        make_recipe(store, [3])
+        assert store.live_logical_bytes() == 300
+
+    def test_referenced_fingerprints_union(self):
+        store = RecipeStore()
+        a = make_recipe(store, [1, 2])
+        b = make_recipe(store, [2, 3])
+        union = store.referenced_fingerprints([a.backup_id, b.backup_id])
+        assert union == {fp(1), fp(2), fp(3)}

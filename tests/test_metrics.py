@@ -1,0 +1,74 @@
+"""Tests for result tables and series helpers."""
+
+import pytest
+
+from repro.metrics.series import bucket_means, series_summary
+from repro.metrics.table import Column, ResultTable, fmt_float, fmt_mib
+
+
+class TestResultTable:
+    def test_render_aligns_columns(self):
+        table = ResultTable(
+            title="T",
+            columns=[Column("name", align="<"), Column("value", format=fmt_float(1))],
+        )
+        table.add_row("alpha", 1.0)
+        table.add_row("b", 12.25)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "12.2" in text
+        # All data lines have equal width.
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_wrong_arity_rejected(self):
+        table = ResultTable(title="T", columns=[Column("a"), Column("b")])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_empty_table_renders_headers(self):
+        table = ResultTable(title="T", columns=[Column("a")])
+        assert "a" in table.render()
+
+    def test_fmt_mib(self):
+        assert fmt_mib()(2 * 1024 * 1024) == "2.0"
+
+
+class TestBucketMeans:
+    def test_even_split(self):
+        assert bucket_means([1, 1, 2, 2], 2) == [1.0, 2.0]
+
+    def test_uneven_tail(self):
+        assert bucket_means([1, 2, 3], 2) == [1.5, 3.0]
+
+    def test_fewer_values_than_buckets(self):
+        assert bucket_means([5.0], 4) == [5.0]
+
+    def test_empty(self):
+        assert bucket_means([], 3) == []
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            bucket_means([1.0], 0)
+
+    def test_mean_preserved_for_uniform_buckets(self):
+        values = [float(i) for i in range(100)]
+        buckets = bucket_means(values, 10)
+        assert sum(buckets) / len(buckets) == pytest.approx(sum(values) / 100)
+
+
+class TestSeriesSummary:
+    def test_odd_median(self):
+        summary = series_summary([3.0, 1.0, 2.0])
+        assert summary["median"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+
+    def test_even_median(self):
+        assert series_summary([1.0, 2.0, 3.0, 4.0])["median"] == pytest.approx(2.5)
+
+    def test_empty(self):
+        assert series_summary([]) == {"min": 0.0, "mean": 0.0, "median": 0.0, "max": 0.0}

@@ -1,0 +1,45 @@
+"""Unit tests for the core data model."""
+
+import pytest
+
+from repro.hashing.fingerprints import fingerprint
+from repro.model import Chunk, ChunkRef
+
+
+class TestChunkRef:
+    def test_value_equality(self):
+        fp = fingerprint(b"x")
+        assert ChunkRef(fp, 10) == ChunkRef(fp, 10)
+
+    def test_hashable_deduplicates(self):
+        fp = fingerprint(b"x")
+        assert len({ChunkRef(fp, 10), ChunkRef(fp, 10)}) == 1
+
+    def test_size_in_identity(self):
+        fp = fingerprint(b"x")
+        assert ChunkRef(fp, 10) != ChunkRef(fp, 11)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkRef(fingerprint(b"x"), -1)
+
+    def test_zero_size_allowed(self):
+        assert ChunkRef(fingerprint(b"x"), 0).size == 0
+
+    def test_repr_is_short(self):
+        ref = ChunkRef(fingerprint(b"x"), 123)
+        assert "123B" in repr(ref)
+        assert len(repr(ref)) < 40
+
+    def test_frozen(self):
+        ref = ChunkRef(fingerprint(b"x"), 1)
+        with pytest.raises(AttributeError):
+            ref.size = 2
+
+
+class TestChunk:
+    def test_accessors_delegate_to_ref(self):
+        data = b"payload"
+        chunk = Chunk(ref=ChunkRef(fingerprint(data), len(data)), data=data)
+        assert chunk.fp == fingerprint(data)
+        assert chunk.size == len(data)

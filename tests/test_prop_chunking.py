@@ -1,0 +1,69 @@
+"""Property-based tests for chunking invariants."""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking.base import chunk_stream, reassemble, split
+from repro.chunking.fastcdc import FastCDC
+from repro.chunking.fixed import FixedChunker
+from repro.config import ChunkingConfig
+
+CONFIG = ChunkingConfig(min_size=64, avg_size=256, max_size=1024)
+CDC = FastCDC(CONFIG)
+
+payloads = st.binary(min_size=0, max_size=20_000)
+
+
+@given(payloads)
+@settings(max_examples=50)
+def test_fastcdc_reassembly_identity(data):
+    assert reassemble(split(CDC, data)) == data
+
+
+@given(payloads)
+@settings(max_examples=50)
+def test_fastcdc_chunk_size_bounds(data):
+    chunks = list(split(CDC, data))
+    for chunk in chunks[:-1]:
+        assert CONFIG.min_size <= chunk.size <= CONFIG.max_size
+    if chunks:
+        assert 0 < chunks[-1].size <= CONFIG.max_size
+
+
+@given(payloads)
+@settings(max_examples=30)
+def test_fastcdc_deterministic(data):
+    first = [c.ref for c in split(CDC, data)]
+    second = [c.ref for c in split(CDC, data)]
+    assert first == second
+
+
+@given(payloads, st.integers(min_value=512, max_value=8192))
+@settings(max_examples=30)
+def test_streamed_chunking_matches_whole_buffer(data, read_size):
+    whole = [c.ref for c in split(CDC, data)]
+    streamed = [c.ref for c in chunk_stream(CDC, io.BytesIO(data), read_size=read_size)]
+    assert streamed == whole
+
+
+@given(payloads, st.integers(min_value=1, max_value=500))
+@settings(max_examples=30)
+def test_fixed_chunker_identity_and_sizes(data, size):
+    chunks = list(split(FixedChunker(size), data))
+    assert reassemble(chunks) == data
+    for chunk in chunks[:-1]:
+        assert chunk.size == size
+
+
+@given(payloads, st.binary(min_size=1, max_size=300))
+@settings(max_examples=25)
+def test_suffix_chunks_mostly_stable_under_prefix_insertion(data, prefix):
+    """CDC boundary-shift resistance, property form: the chunks fully inside
+    the shared suffix reappear after prepending arbitrary bytes."""
+    if len(data) < 5 * CONFIG.max_size:
+        return  # too small for a meaningful suffix statement
+    original = {c.fp for c in split(CDC, data)}
+    shifted = {c.fp for c in split(CDC, prefix + data)}
+    shared = len(original & shifted) / len(original)
+    assert shared > 0.5

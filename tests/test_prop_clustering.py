@@ -1,0 +1,143 @@
+"""Property-based tests for the Analyzer's clustering and the packing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GCCDFConfig
+from repro.core.analyzer import Analyzer, ReferenceChecker
+from repro.core.clusters import Cluster
+from repro.core.packing import (
+    greedy_pack,
+    matching_suffix_length,
+    ownership_similarity,
+)
+from repro.dedup.keys import storage_key
+from repro.hashing.fingerprints import synthetic_fingerprint
+from repro.index.recipe import Recipe, RecipeStore
+from repro.model import ChunkRef
+
+
+def key_ref(i: int) -> ChunkRef:
+    return ChunkRef(fp=storage_key(synthetic_fingerprint("pc", i)), size=64)
+
+
+# A world: n backups, each referencing a random subset of m chunks.
+worlds = st.integers(min_value=1, max_value=5).flatmap(
+    lambda n: st.integers(min_value=1, max_value=30).flatmap(
+        lambda m: st.tuples(
+            st.just(n),
+            st.just(m),
+            st.lists(
+                st.sets(st.integers(min_value=0, max_value=m - 1)),
+                min_size=n,
+                max_size=n,
+            ),
+        )
+    )
+)
+
+
+def build(world):
+    n, m, memberships = world
+    recipes = RecipeStore()
+    for backup_id in range(n):
+        assert recipes.new_backup_id() == backup_id
+        recipes.add(
+            Recipe(
+                backup_id=backup_id,
+                entries=tuple(key_ref(i) for i in sorted(memberships[backup_id])),
+            )
+        )
+    config = GCCDFConfig(exact_reference_check=True, split_denial_threshold=0)
+    analyzer = Analyzer(ReferenceChecker(recipes, config), config)
+    chunks = [key_ref(i) for i in range(m)]
+    clusters = analyzer.cluster(chunks, tuple(range(n)))
+    return n, m, memberships, chunks, clusters
+
+
+@given(worlds)
+@settings(max_examples=80, deadline=None)
+def test_clusters_partition_the_chunks(world):
+    _, m, _, chunks, clusters = build(world)
+    flattened = [c.fp for cluster in clusters for c in cluster.chunks]
+    assert sorted(flattened) == sorted(c.fp for c in chunks)
+    assert len(flattened) == len(set(flattened)) == m
+
+
+@given(worlds)
+@settings(max_examples=80, deadline=None)
+def test_cluster_ownership_is_exact(world):
+    """Every cluster's ownership equals the true referencing-backup set of
+    each of its chunks (no denial, exact checking)."""
+    n, _, memberships, _, clusters = build(world)
+    true_owner = {}
+    for backup_id in range(n):
+        for i in memberships[backup_id]:
+            true_owner.setdefault(i, set()).add(backup_id)
+    fp_to_id = {key_ref(i).fp: i for i in range(30)}
+    for cluster in clusters:
+        for chunk in cluster.chunks:
+            chunk_id = fp_to_id[chunk.fp]
+            assert set(cluster.ownership) == true_owner.get(chunk_id, set())
+
+
+@given(worlds)
+@settings(max_examples=50, deadline=None)
+def test_distinct_clusters_have_distinct_ownership(world):
+    _, _, _, _, clusters = build(world)
+    ownerships = [c.ownership for c in clusters]
+    assert len(ownerships) == len(set(ownerships))
+
+
+ownerships_strategy = st.lists(
+    st.sets(st.integers(min_value=0, max_value=8), min_size=0, max_size=6).map(
+        lambda s: tuple(sorted(s))
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+@given(ownerships_strategy)
+@settings(max_examples=80)
+def test_greedy_pack_is_permutation(ownerships):
+    clusters = [Cluster(ownership=o, chunks=[key_ref(i)]) for i, o in enumerate(ownerships)]
+    ordered = greedy_pack(clusters, num_backups=9)
+    assert sorted(id(c) for c in ordered) == sorted(id(c) for c in clusters)
+
+
+@given(ownerships_strategy)
+@settings(max_examples=50)
+def test_greedy_pack_starts_with_max_ownership(ownerships):
+    if not ownerships:
+        return
+    clusters = [Cluster(ownership=o, chunks=[key_ref(i)]) for i, o in enumerate(ownerships)]
+    ordered = greedy_pack(clusters, num_backups=9)
+    assert len(ordered[0].ownership) == max(len(o) for o in ownerships)
+
+
+owner_tuples = st.sets(st.integers(min_value=0, max_value=10), max_size=8).map(
+    lambda s: tuple(sorted(s))
+)
+
+
+@given(owner_tuples, owner_tuples)
+@settings(max_examples=100)
+def test_similarity_symmetric_and_bounded(a, b):
+    assert ownership_similarity(a, b, 11) == ownership_similarity(b, a, 11)
+    assert 0.0 <= ownership_similarity(a, b, 11) <= 1.0
+
+
+@given(owner_tuples)
+@settings(max_examples=50)
+def test_suffix_with_self_is_full_length(a):
+    assert matching_suffix_length(a, a) == len(a)
+
+
+@given(owner_tuples, owner_tuples)
+@settings(max_examples=100)
+def test_suffix_symmetric_and_bounded(a, b):
+    length = matching_suffix_length(a, b)
+    assert length == matching_suffix_length(b, a)
+    assert 0 <= length <= min(len(a), len(b))
+    if length:
+        assert a[-length:] == b[-length:]

@@ -1,0 +1,81 @@
+"""Property-based invariants of the rotation driver's protocol."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.backup.approaches import make_service
+from repro.backup.driver import BackupSpec, RotationDriver
+from repro.config import SystemConfig
+
+from tests.conftest import refs
+
+
+def run_protocol(num_backups: int, retained: int, turnover: int, approach: str):
+    config = SystemConfig.scaled(retained=retained, turnover=turnover)
+    service = make_service(approach, config)
+    driver = RotationDriver(service, config.retention, dataset_name="prop")
+    backups = [
+        BackupSpec(source="s", chunks=tuple(refs("drv", range(i * 2, i * 2 + 12))))
+        for i in range(num_backups)
+    ]
+    return driver.run(backups), service
+
+
+protocol_params = st.tuples(
+    st.integers(min_value=1, max_value=24),  # dataset length
+    st.integers(min_value=3, max_value=8),   # retained
+    st.integers(min_value=1, max_value=3),   # turnover
+).filter(lambda t: t[2] <= t[1])
+
+approaches = st.sampled_from(["naive", "gccdf", "mfdedup", "nondedup"])
+
+
+@given(protocol_params, approaches)
+@settings(max_examples=40, deadline=None)
+def test_protocol_structural_invariants(params, approach):
+    num_backups, retained, turnover, = params
+    result, service = run_protocol(num_backups, retained, turnover, approach)
+
+    # Every backup was ingested exactly once.
+    assert len(result.ingest_reports) == num_backups
+
+    # The live window never exceeds `retained`; when the dataset is a whole
+    # number of turnover batches past the window (the paper's datasets all
+    # are), it ends at exactly retained - turnover.
+    live = service.live_backup_ids()
+    assert len(live) <= retained
+    if num_backups >= retained and (num_backups - retained) % turnover == 0:
+        assert len(live) == retained - turnover
+
+    # Restores cover exactly the live window, oldest first.
+    assert [r.backup_id for r in result.restore_reports] == live
+
+    # Live ids form the newest suffix of the ingest sequence.
+    if live:
+        newest = result.ingest_reports[-1].backup_id
+        assert live == list(range(newest - len(live) + 1, newest + 1))
+
+
+@given(protocol_params)
+@settings(max_examples=25, deadline=None)
+def test_gc_round_count_formula(params):
+    """Rounds = 1 (final) + one per full turnover batch beyond the window."""
+    num_backups, retained, turnover = params
+    result, _ = run_protocol(num_backups, retained, turnover, "naive")
+    if num_backups < retained:
+        expected = 1 if num_backups > 0 else 0
+    else:
+        remaining = num_backups - retained
+        expected = -(-remaining // turnover) + 1  # ceil + final round
+    assert len(result.gc_reports) == expected
+
+
+@given(protocol_params)
+@settings(max_examples=25, deadline=None)
+def test_results_deterministic(params):
+    num_backups, retained, turnover = params
+    a, _ = run_protocol(num_backups, retained, turnover, "gccdf")
+    b, _ = run_protocol(num_backups, retained, turnover, "gccdf")
+    assert a.dedup_ratio == b.dedup_ratio
+    assert [r.read_amplification for r in a.restore_reports] == [
+        r.read_amplification for r in b.restore_reports
+    ]

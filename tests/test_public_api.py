@@ -1,0 +1,78 @@
+"""The package's public surface: imports, __all__, and the README snippet."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_present(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_approaches_tuple(self):
+        assert set(repro.APPROACHES) == {
+            "nondedup",
+            "naive",
+            "capping",
+            "har",
+            "smr",
+            "mfdedup",
+            "gccdf",
+        }
+
+    def test_dataset_names(self):
+        assert set(repro.DATASET_NAMES) == {"web", "wiki", "code", "mix", "syn"}
+
+
+SUBPACKAGES = [
+    "repro.chunking",
+    "repro.hashing",
+    "repro.simio",
+    "repro.storage",
+    "repro.index",
+    "repro.dedup",
+    "repro.dedup.rewriting",
+    "repro.restore",
+    "repro.gc",
+    "repro.core",
+    "repro.mfdedup",
+    "repro.workloads",
+    "repro.backup",
+    "repro.metrics",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_imports_and_documents(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} must have a module docstring"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackage_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestReadmeQuickstart:
+    def test_snippet_runs(self):
+        """The README's quickstart, executed verbatim (smaller workload)."""
+        from repro import RotationDriver, SystemConfig, dataset, make_service
+
+        config = SystemConfig.scaled(retained=10, turnover=3)
+        service = make_service("gccdf", config)
+        driver = RotationDriver(service, config.retention, dataset_name="web")
+        result = driver.run(dataset("web", scale=0.1, num_backups=16))
+        assert result.dedup_ratio > 1.0
+        assert result.mean_read_amplification >= 1.0
+        assert result.restore_speed > 0

@@ -1,0 +1,66 @@
+"""Unit tests for deterministic RNG utilities."""
+
+from repro.util.rng import DeterministicRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_parent_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(42, "x") < 1 << 64
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_fork_is_independent_of_parent_consumption(self):
+        a = DeterministicRng(7)
+        a.randint(0, 100)  # consume from parent
+        fork_after = a.fork("child")
+        fork_fresh = DeterministicRng(7).fork("child")
+        assert fork_after.randint(0, 1000) == fork_fresh.randint(0, 1000)
+
+    def test_forks_with_different_labels_differ(self):
+        rng = DeterministicRng(7)
+        assert rng.fork("x").token() != rng.fork("y").token()
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(1)
+        assert not any(rng.chance(0.0) for _ in range(50))
+        assert all(rng.chance(1.0) for _ in range(50))
+
+    def test_sample_returns_distinct(self):
+        rng = DeterministicRng(3)
+        sample = rng.sample(list(range(100)), 10)
+        assert len(set(sample)) == 10
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRng(5)
+        items = list(range(30))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_weighted_choice_respects_zero_weights(self):
+        rng = DeterministicRng(9)
+        picks = {rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(30)}
+        assert picks == {"a"}
+
+    def test_expovariate_positive(self):
+        rng = DeterministicRng(11)
+        assert all(rng.expovariate(1.0) >= 0 for _ in range(100))

@@ -1,0 +1,76 @@
+"""Unit tests for the simulated disk model and I/O counters."""
+
+import pytest
+
+from repro.config import DiskConfig
+from repro.simio.disk import DiskModel
+from repro.simio.stats import IOStats
+
+
+class TestDiskModel:
+    def test_read_cost_is_seek_plus_transfer(self):
+        disk = DiskModel(DiskConfig(bandwidth=1000.0, seek_time=0.5))
+        assert disk.read(1000) == pytest.approx(0.5 + 1.0)
+
+    def test_write_cost_symmetric(self):
+        disk = DiskModel(DiskConfig(bandwidth=1000.0, seek_time=0.5))
+        assert disk.write(500) == pytest.approx(0.5 + 0.5)
+
+    def test_counters_accumulate(self):
+        disk = DiskModel(DiskConfig(bandwidth=1e6, seek_time=0.0))
+        disk.read(100)
+        disk.read(200)
+        disk.write(300)
+        assert disk.stats.read_ops == 2
+        assert disk.stats.read_bytes == 300
+        assert disk.stats.write_ops == 1
+        assert disk.stats.write_bytes == 300
+
+    def test_zero_byte_op_costs_one_seek(self):
+        disk = DiskModel(DiskConfig(bandwidth=1e6, seek_time=0.01))
+        assert disk.read(0) == pytest.approx(0.01)
+
+    def test_negative_size_rejected(self):
+        disk = DiskModel()
+        with pytest.raises(ValueError):
+            disk.read(-1)
+        with pytest.raises(ValueError):
+            disk.write(-1)
+
+    def test_snapshot_isolated_from_future_ops(self):
+        disk = DiskModel()
+        disk.read(100)
+        snap = disk.snapshot()
+        disk.read(100)
+        assert snap.read_ops == 1
+        assert disk.stats.read_ops == 2
+
+
+class TestIOStats:
+    def test_since_diffs_all_fields(self):
+        disk = DiskModel(DiskConfig(bandwidth=1000.0, seek_time=0.0))
+        before = disk.snapshot()
+        disk.read(500)
+        disk.write(250)
+        delta = disk.snapshot().since(before)
+        assert delta.read_bytes == 500
+        assert delta.write_bytes == 250
+        assert delta.read_seconds == pytest.approx(0.5)
+        assert delta.write_seconds == pytest.approx(0.25)
+        assert delta.total_bytes == 750
+        assert delta.total_seconds == pytest.approx(0.75)
+
+    def test_merge_adds(self):
+        a = IOStats(read_ops=1, read_bytes=10, read_seconds=0.1)
+        b = IOStats(read_ops=2, read_bytes=20, write_ops=1, write_bytes=5)
+        a.merge(b)
+        assert a.read_ops == 3
+        assert a.read_bytes == 30
+        assert a.write_ops == 1
+        assert a.write_bytes == 5
+
+    def test_snapshot_is_independent_copy(self):
+        stats = IOStats(read_ops=1)
+        copy = stats.snapshot()
+        stats.read_ops = 99
+        assert copy.read_ops == 1

@@ -1,0 +1,57 @@
+"""Tests for the Stopwatch used in GC analyze accounting."""
+
+import pytest
+
+from repro.util.timer import Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates_across_regions(self):
+        watch = Stopwatch()
+        watch.start()
+        first = watch.stop()
+        watch.start()
+        second = watch.stop()
+        assert watch.elapsed == pytest.approx(first + second)
+        assert first >= 0 and second >= 0
+
+    def test_context_manager(self):
+        watch = Stopwatch()
+        with watch.timed():
+            pass
+        assert watch.elapsed >= 0
+        assert watch._started_at is None
+
+    def test_context_manager_stops_on_exception(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError, match="boom"):
+            with watch.timed():
+                raise RuntimeError("boom")
+        # The region was closed despite the exception.
+        watch.start()
+        watch.stop()
+
+    def test_nested_start_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+        watch.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch.timed():
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_reset_while_running_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.reset()
+        watch.stop()

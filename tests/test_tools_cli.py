@@ -1,0 +1,87 @@
+"""Tests for the repro.tools CLI (trace / simulate / inspect)."""
+
+import pytest
+
+from repro.tools import main
+
+
+class TestTraceCommand:
+    def test_write_and_stats(self, tmp_path, capsys):
+        out = tmp_path / "web.trace"
+        assert main([
+            "trace", "--dataset", "web", "--backups", "3",
+            "--scale", "0.05", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        assert main(["trace", "--stats", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "backups:             3" in output
+        assert "unique fingerprints" in output
+
+    def test_gzip_output(self, tmp_path):
+        out = tmp_path / "web.trace.gz"
+        assert main([
+            "trace", "--dataset", "web", "--backups", "2",
+            "--scale", "0.05", "--out", str(out),
+        ]) == 0
+        assert out.exists()
+
+    def test_requires_out_or_stats(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--dataset", "web"])
+
+    def test_requires_workload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--out", str(tmp_path / "x.trace")])
+
+
+class TestSimulateCommand:
+    def test_runs_preset(self, capsys):
+        assert main([
+            "simulate", "--dataset", "web", "--approach", "naive",
+            "--backups", "14", "--retained", "8", "--turnover", "2",
+            "--scale", "0.05",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "dedup ratio" in output
+        assert "GC round" in output
+
+    def test_runs_trace_file(self, tmp_path, capsys):
+        out = tmp_path / "t.trace"
+        main(["trace", "--dataset", "mix", "--backups", "10",
+              "--scale", "0.05", "--out", str(out)])
+        capsys.readouterr()
+        assert main([
+            "simulate", "--trace", str(out), "--approach", "mfdedup",
+            "--retained", "6", "--turnover", "2",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "approach:            mfdedup" in output
+
+    def test_rejects_unknown_approach(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--dataset", "web", "--approach", "zfs"])
+
+
+class TestInspectCommand:
+    def test_inspect_output_sections(self, capsys):
+        assert main([
+            "inspect", "--dataset", "web", "--backups", "12",
+            "--retained", "8", "--turnover", "2", "--scale", "0.05",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "ownership" in output
+        assert "purity" in output
+        assert "amp" in output
+
+    def test_layout_rendered_for_small_systems(self, capsys):
+        assert main([
+            "inspect", "--dataset", "web", "--backups", "6",
+            "--retained", "4", "--turnover", "1", "--scale", "0.05",
+            "--layout-limit", "1000",
+        ]) == 0
+        assert "legend" in capsys.readouterr().out
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

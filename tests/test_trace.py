@@ -1,0 +1,106 @@
+"""Tests for trace save/load round-tripping."""
+
+import pytest
+
+from repro.backup.driver import BackupSpec
+from repro.workloads.datasets import dataset
+from repro.workloads.trace import (
+    TraceFormatError,
+    load_trace,
+    save_trace,
+    trace_stats,
+)
+
+from tests.conftest import refs
+
+
+def specs():
+    return [
+        BackupSpec(source="a", chunks=tuple(refs("t", range(10)))),
+        BackupSpec(source="b", chunks=tuple(refs("t", range(5, 15)))),
+        BackupSpec(source="", chunks=tuple(refs("t", [1]))),
+    ]
+
+
+class TestRoundTrip:
+    def test_identity(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        original = specs()
+        assert save_trace(path, original) == 3
+        loaded = list(load_trace(path))
+        assert loaded == original
+
+    def test_gzip_identity(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        original = specs()
+        save_trace(path, original)
+        assert list(load_trace(path)) == original
+        # And it actually compressed something.
+        assert path.stat().st_size < 2000
+
+    def test_dataset_roundtrip(self, tmp_path):
+        path = tmp_path / "web.trace"
+        original = list(dataset("web", scale=0.05, num_backups=5))
+        save_trace(path, original)
+        assert list(load_trace(path)) == original
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        assert save_trace(path, []) == 0
+        assert list(load_trace(path)) == []
+
+    def test_lazy_streaming(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(path, specs())
+        iterator = load_trace(path)
+        first = next(iterator)
+        assert first.source == "a"
+
+
+class TestStats:
+    def test_counts(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(path, specs())
+        stats = trace_stats(path)
+        assert stats["backups"] == 3
+        assert stats["chunks"] == 21
+        assert stats["logical_bytes"] == 21 * 512
+        assert stats["unique_fingerprints"] == 15
+
+
+class TestErrors:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(TraceFormatError):
+            list(load_trace(path))
+
+    def test_chunk_before_backup(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#repro-trace v1\nC " + "00" * 20 + " 10\n")
+        with pytest.raises(TraceFormatError):
+            list(load_trace(path))
+
+    def test_bad_fingerprint_width(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#repro-trace v1\nB s\nC abcd 10\n")
+        with pytest.raises(TraceFormatError):
+            list(load_trace(path))
+
+    def test_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("#repro-trace v1\nX what\n")
+        with pytest.raises(TraceFormatError):
+            list(load_trace(path))
+
+    def test_whitespace_source_rejected(self, tmp_path):
+        spec = BackupSpec(source="two words", chunks=tuple(refs("t", [1])))
+        with pytest.raises(TraceFormatError):
+            save_trace(tmp_path / "t.trace", [spec])
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(path, specs()[:1])
+        content = path.read_text().replace("B a\n", "B a\n# comment\n\n")
+        path.write_text(content)
+        assert list(load_trace(path)) == specs()[:1]

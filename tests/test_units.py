@@ -1,0 +1,89 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    TIB,
+    format_bytes,
+    format_duration,
+    parse_size,
+)
+
+
+class TestFormatBytes:
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+    def test_small_integers_render_as_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib_boundary(self):
+        assert format_bytes(1024) == "1.0 KiB"
+
+    def test_mib(self):
+        assert format_bytes(4 * MIB) == "4.0 MiB"
+
+    def test_gib_fractional(self):
+        assert format_bytes(int(1.5 * GIB)) == "1.5 GiB"
+
+    def test_tib(self):
+        assert format_bytes(2 * TIB) == "2.0 TiB"
+
+    def test_negative(self):
+        assert format_bytes(-2048) == "-2.0 KiB"
+
+
+class TestFormatDuration:
+    def test_milliseconds(self):
+        assert format_duration(0.25) == "250 ms"
+
+    def test_seconds(self):
+        assert format_duration(12.34) == "12.3 s"
+
+    def test_minutes(self):
+        assert format_duration(125) == "2 m 05 s"
+
+    def test_hours(self):
+        assert format_duration(2 * 3600 + 30 * 60) == "2 h 30 m"
+
+    def test_negative(self):
+        assert format_duration(-0.25) == "-250 ms"
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_bare_number_string(self):
+        assert parse_size("100") == 100
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4KiB", 4 * KIB),
+            ("4 KB", 4 * KIB),
+            ("4k", 4 * KIB),
+            ("2MiB", 2 * MIB),
+            ("2mb", 2 * MIB),
+            ("1GiB", GIB),
+            ("1.5m", int(1.5 * MIB)),
+        ],
+    )
+    def test_units(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("")
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("4 parsecs")
+
+    def test_missing_number_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("MiB")

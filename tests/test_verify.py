@@ -1,0 +1,107 @@
+"""Tests for the whole-system consistency verifier."""
+
+import pytest
+
+from repro.backup.system import DedupBackupService
+from repro.backup.verify import assert_consistent, verify_system
+from repro.core.gccdf import GCCDFMigration
+from repro.errors import IntegrityError
+from repro.index.fingerprint_index import Placement
+
+from tests.conftest import refs
+
+
+@pytest.fixture
+def service(tiny_config) -> DedupBackupService:
+    return DedupBackupService(config=tiny_config)
+
+
+class TestConsistentStates:
+    def test_empty_system(self, service):
+        report = verify_system(service)
+        assert report.consistent
+        assert report.live_recipes == 0
+
+    def test_after_ingest(self, service):
+        service.ingest(refs("v", range(32)))
+        report = verify_system(service)
+        assert report.consistent
+        assert report.recipe_entries == 32
+        assert report.index_entries == 32
+
+    def test_after_delete_before_gc_warns_not_errors(self, service):
+        first = service.ingest(refs("v", range(16)))
+        service.ingest(refs("v", range(8, 24)))
+        service.delete_backup(first.backup_id)
+        report = verify_system(service)
+        assert report.consistent  # garbage awaiting GC is not corruption
+
+    def test_after_gc(self, service):
+        first = service.ingest(refs("v", range(16)))
+        service.ingest(refs("v", range(0, 16, 2)))
+        service.delete_backup(first.backup_id)
+        service.run_gc()
+        assert verify_system(service).consistent
+
+    def test_after_gccdf_gc(self, tiny_config):
+        service = DedupBackupService(config=tiny_config, migration=GCCDFMigration())
+        first = service.ingest(refs("v", range(32)))
+        service.ingest(refs("v", range(0, 32, 2)))
+        service.delete_backup(first.backup_id)
+        service.run_gc()
+        report = assert_consistent(service)
+        assert report.consistent
+
+    def test_summary_mentions_status(self, service):
+        service.ingest(refs("v", range(4)))
+        assert "CONSISTENT" in verify_system(service).summary()
+
+
+class TestCorruptionDetection:
+    def test_missing_index_entry(self, service):
+        result = service.ingest(refs("v", range(8)))
+        key = service.recipes.get(result.backup_id).entries[0].fp
+        service.index.discard(key)
+        report = verify_system(service)
+        assert not report.consistent
+        assert any("missing from the index" in e for e in report.errors)
+
+    def test_dangling_placement(self, service):
+        result = service.ingest(refs("v", range(8)))
+        key = service.recipes.get(result.backup_id).entries[0].fp
+        service.index.relocate(key, container_id=999)
+        report = verify_system(service)
+        assert not report.consistent
+        assert any("dead container" in e for e in report.errors)
+
+    def test_wrong_container_placement(self, service):
+        service.ingest(refs("v", range(8)))
+        second = service.ingest(refs("w", range(8)))
+        # Point a chunk of backup 1 at backup 0's container (which exists
+        # but does not hold the key).
+        key = service.recipes.get(second.backup_id).entries[0].fp
+        wrong = next(service.store.ids())
+        service.index.relocate(key, container_id=wrong)
+        report = verify_system(service)
+        assert not report.consistent
+
+    def test_size_mismatch(self, service):
+        result = service.ingest(refs("v", range(8)))
+        key = service.recipes.get(result.backup_id).entries[0].fp
+        placement = service.index.get(key)
+        service.index._entries[key] = Placement(placement.container_id, placement.size + 1)
+        report = verify_system(service)
+        assert any("size" in e for e in report.errors)
+
+    def test_assert_consistent_raises(self, service):
+        result = service.ingest(refs("v", range(8)))
+        service.index.discard(service.recipes.get(result.backup_id).entries[0].fp)
+        with pytest.raises(IntegrityError):
+            assert_consistent(service)
+
+    def test_container_used_bytes_mismatch(self, service):
+        service.ingest(refs("v", range(8)))
+        container = next(iter(service.store.containers()))
+        container.used_bytes += 7  # simulate corruption
+        report = verify_system(service)
+        assert any("used_bytes" in e for e in report.errors)

@@ -1,0 +1,158 @@
+"""Tests for workload sources and dataset presets."""
+
+import pytest
+
+from repro.config import ChunkingConfig
+from repro.errors import ConfigError
+from repro.util.rng import DeterministicRng
+from repro.workloads.datasets import DATASET_NAMES, dataset
+from repro.workloads.sizes import ChunkSizeSampler
+from repro.workloads.source import MutatingSource, MutationProfile
+
+CHUNKING = ChunkingConfig(min_size=256, avg_size=1024, max_size=4096)
+
+
+def make_source(seed=1, **profile_kwargs) -> MutatingSource:
+    return MutatingSource(
+        name="unit",
+        chunking=CHUNKING,
+        target_bytes=256 * 1024,
+        file_size_mean=16 * 1024,
+        profile=MutationProfile(**profile_kwargs),
+        seed=seed,
+    )
+
+
+class TestChunkSizeSampler:
+    def test_bounds(self):
+        sampler = ChunkSizeSampler(CHUNKING, DeterministicRng(1))
+        sizes = [sampler.sample() for _ in range(2000)]
+        assert all(CHUNKING.min_size <= s <= CHUNKING.max_size for s in sizes)
+
+    def test_mean_near_average(self):
+        sampler = ChunkSizeSampler(CHUNKING, DeterministicRng(1))
+        sizes = [sampler.sample() for _ in range(5000)]
+        mean = sum(sizes) / len(sizes)
+        assert CHUNKING.avg_size * 0.6 <= mean <= CHUNKING.avg_size * 1.4
+
+    def test_sample_total_close(self):
+        sampler = ChunkSizeSampler(CHUNKING, DeterministicRng(1))
+        sizes = sampler.sample_total(100_000)
+        assert abs(sum(sizes) - 100_000) <= CHUNKING.max_size
+
+
+class TestMutationProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MutationProfile(modify_file_fraction=1.5).validate()
+        with pytest.raises(ConfigError):
+            MutationProfile(hotspot_probability=-0.1).validate()
+        MutationProfile().validate()
+
+
+class TestMutatingSource:
+    def test_snapshot_determinism(self):
+        a = make_source(seed=9)
+        b = make_source(seed=9)
+        for _ in range(3):
+            assert a.snapshot() == b.snapshot()
+
+    def test_seed_sensitivity(self):
+        assert make_source(seed=1).snapshot() != make_source(seed=2).snapshot()
+
+    def test_consecutive_snapshots_share_most_chunks(self):
+        source = make_source(modify_file_fraction=0.2, modify_chunk_fraction=0.1)
+        first = {r.fp for r in source.snapshot()}
+        second = {r.fp for r in source.snapshot()}
+        shared = len(first & second) / len(first)
+        assert shared > 0.8
+
+    def test_mutation_changes_something(self):
+        source = make_source()
+        first = {r.fp for r in source.snapshot()}
+        second = {r.fp for r in source.snapshot()}
+        assert first != second
+
+    def test_working_set_roughly_stationary(self):
+        source = make_source(create_file_fraction=0.05, delete_file_fraction=0.05)
+        initial = source.working_set_bytes
+        for _ in range(20):
+            source.snapshot()
+        assert 0.4 * initial < source.working_set_bytes < 3.0 * initial
+
+    def test_sizes_within_chunking_bounds(self):
+        source = make_source()
+        for ref in source.snapshot():
+            assert CHUNKING.min_size <= ref.size <= CHUNKING.max_size
+
+    def test_snapshot_counter(self):
+        source = make_source()
+        source.snapshot()
+        source.snapshot()
+        assert source.snapshots_taken == 2
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            MutatingSource(
+                name="bad",
+                chunking=CHUNKING,
+                target_bytes=0,
+                file_size_mean=10,
+                profile=MutationProfile(),
+                seed=1,
+            )
+
+
+class TestDatasets:
+    def test_registry_names(self):
+        assert set(DATASET_NAMES) == {"web", "wiki", "code", "mix", "syn"}
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            dataset("tape-archive")
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_presets_yield_requested_backups(self, name):
+        ds = dataset(name, scale=0.05, num_backups=8)
+        backups = list(ds)
+        assert len(backups) == 8
+        assert all(b.chunks for b in backups)
+
+    def test_reiteration_is_identical(self):
+        ds = dataset("mix", scale=0.05, num_backups=6)
+        first = [(b.source, b.chunks) for b in ds]
+        second = [(b.source, b.chunks) for b in ds]
+        assert first == second
+
+    def test_seed_changes_content(self):
+        a = list(dataset("web", scale=0.05, num_backups=4, seed=1))
+        b = list(dataset("web", scale=0.05, num_backups=4, seed=2))
+        assert a != b
+
+    def test_sources_interleave_round_robin(self):
+        ds = dataset("mix", scale=0.05, num_backups=6)
+        sources = [b.source for b in ds]
+        assert sources[0] != sources[1]
+        assert sources[0] == sources[2]
+
+    def test_web_is_single_source(self):
+        ds = dataset("web", scale=0.05, num_backups=4)
+        assert len({b.source for b in ds}) == 1
+
+    def test_cross_source_streams_share_nothing(self):
+        ds = dataset("mix", scale=0.05, num_backups=4)
+        backups = list(ds)
+        news = {r.fp for b in backups if "news" in b.source for r in b.chunks}
+        redis = {r.fp for b in backups if "redis" in b.source for r in b.chunks}
+        assert news and redis
+        assert not news & redis
+
+    def test_same_source_consecutive_rounds_share(self):
+        ds = dataset("wiki", scale=0.05, num_backups=12)
+        backups = list(ds)
+        first = {r.fp for r in backups[0].chunks}   # source en, round 0
+        later = {r.fp for r in backups[4].chunks}   # source en, round 1
+        assert len(first & later) / len(first) > 0.5
+
+    def test_logical_bytes_estimate_positive(self):
+        assert dataset("syn", scale=0.05, num_backups=8).logical_bytes_estimate > 0
