@@ -76,6 +76,38 @@ class RotationResult:
     def gc_total_seconds(self) -> float:
         return sum(report.total_seconds for report in self.gc_reports)
 
+    def to_dict(self) -> dict:
+        """Deterministic plain-data form: every leaf is an int/float/str,
+        so the dict round-trips exactly through JSON (the persistent run
+        cache and the parallel matrix runner both ship results this way)."""
+        return {
+            "approach": self.approach,
+            "dataset": self.dataset,
+            "ingest_reports": [r.to_dict() for r in self.ingest_reports],
+            "gc_reports": [r.to_dict() for r in self.gc_reports],
+            "restore_reports": [r.to_dict() for r in self.restore_reports],
+            "dedup_ratio": self.dedup_ratio,
+            "physical_bytes": self.physical_bytes,
+            "cumulative_logical_bytes": self.cumulative_logical_bytes,
+            "cumulative_stored_bytes": self.cumulative_stored_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RotationResult":
+        return cls(
+            approach=data["approach"],
+            dataset=data["dataset"],
+            ingest_reports=[IngestResult.from_dict(d) for d in data["ingest_reports"]],
+            gc_reports=[GCReport.from_dict(d) for d in data["gc_reports"]],
+            restore_reports=[
+                RestoreReport.from_dict(d) for d in data["restore_reports"]
+            ],
+            dedup_ratio=data["dedup_ratio"],
+            physical_bytes=data["physical_bytes"],
+            cumulative_logical_bytes=data["cumulative_logical_bytes"],
+            cumulative_stored_bytes=data["cumulative_stored_bytes"],
+        )
+
 
 class RotationDriver:
     """Runs the ingest/rotate/GC/restore protocol over one dataset."""

@@ -17,7 +17,7 @@ Non-dedup baseline of §3.1 — through the same code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterable, Union
 
 from repro.dedup.logical_index import LogicalIndex
@@ -44,6 +44,14 @@ class IngestResult:
     rewritten_bytes: int
     #: Containers sealed while ingesting this backup.
     containers_written: int
+
+    def to_dict(self) -> dict:
+        """Plain-scalar dict; round-trips through JSON (run cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IngestResult":
+        return cls(**data)
 
 
 class IngestPipeline:

@@ -23,7 +23,23 @@ from repro.experiments.common import (
     ExperimentScale,
     clear_cache,
     get_scale,
+    protocol_runs,
     run_protocol,
 )
+from repro.experiments.cache import RunCache, run_cache_key
+from repro.experiments.matrix import Cell, MatrixSummary, cells_for, run_matrix
 
-__all__ = ["SCALES", "ExperimentScale", "clear_cache", "get_scale", "run_protocol"]
+__all__ = [
+    "SCALES",
+    "Cell",
+    "ExperimentScale",
+    "MatrixSummary",
+    "RunCache",
+    "cells_for",
+    "clear_cache",
+    "get_scale",
+    "protocol_runs",
+    "run_cache_key",
+    "run_matrix",
+    "run_protocol",
+]

@@ -22,6 +22,17 @@ from repro.metrics.table import Column, ResultTable, fmt_float, fmt_mib
 
 DATASETS = ("wiki", "code", "mix", "syn")
 
+#: Sweep points, shared with :mod:`repro.experiments.matrix` so the parallel
+#: runner enumerates exactly the cells these ablations consume.
+PACKINGS = ("greedy", "tree", "random")
+VC_DATASETS = ("web", "mix")
+VC_TABLES = ("exact", "bloom")
+SPLIT_DATASET = "mix"
+SPLIT_THRESHOLDS = (0, 2, 4, 16, 64)
+RESTORE_CACHE_DATASET = "mix"
+RESTORE_CACHE_APPROACHES = ("naive", "gccdf")
+RESTORE_CACHE_SIZES = (4, 16, 64, None)
+
 
 def packing_ablation(scale: str = "quick") -> str:
     """Tree vs greedy vs random packing on every dataset."""
@@ -35,7 +46,7 @@ def packing_ablation(scale: str = "quick") -> str:
         ],
     )
     for dataset_name in DATASETS:
-        for packing in ("greedy", "tree", "random"):
+        for packing in PACKINGS:
             result = run_protocol("gccdf", dataset_name, scale, packing=packing)
             table.add_row(
                 dataset_name.upper(),
@@ -58,8 +69,8 @@ def vc_table_ablation(scale: str = "quick") -> str:
             Column("mean read amp", format=fmt_float(3)),
         ],
     )
-    for dataset_name in ("web", "mix"):
-        for vc_table in ("exact", "bloom"):
+    for dataset_name in VC_DATASETS:
+        for vc_table in VC_TABLES:
             result = run_protocol("gccdf", dataset_name, scale, vc_table=vc_table)
             reclaimed = sum(r.reclaimed_bytes for r in result.gc_reports)
             table.add_row(
@@ -82,9 +93,9 @@ def split_denial_ablation(scale: str = "quick") -> str:
             Column("GC analyze ms", format=lambda s: f"{s * 1000:.1f}"),
         ],
     )
-    for threshold in (0, 2, 4, 16, 64):
+    for threshold in SPLIT_THRESHOLDS:
         result = run_protocol(
-            "gccdf", "mix", scale, split_denial_threshold=threshold
+            "gccdf", SPLIT_DATASET, scale, split_denial_threshold=threshold
         )
         analyze = sum(r.analyze_seconds for r in result.gc_reports)
         table.add_row(threshold, result.mean_read_amplification, analyze)
@@ -101,11 +112,11 @@ def restore_cache_ablation(scale: str = "quick") -> str:
             Column("mean read amp", format=fmt_float(3)),
         ],
     )
-    for approach in ("naive", "gccdf"):
-        for cache in (4, 16, 64, None):
+    for approach in RESTORE_CACHE_APPROACHES:
+        for cache in RESTORE_CACHE_SIZES:
             result = run_protocol(
                 approach,
-                "mix",
+                RESTORE_CACHE_DATASET,
                 scale,
                 restore_cache_containers=cache,
             )

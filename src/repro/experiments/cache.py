@@ -1,0 +1,157 @@
+"""Persistent, content-addressed cache of completed protocol runs.
+
+A full-scale protocol cell (one approach × dataset × configuration) costs
+minutes of CPU; the quantities every figure reads off it are a few KiB of
+report dataclasses.  This module persists those reports under a cache
+directory so re-running figures, benchmarks, or the experiment matrix in a
+fresh process costs milliseconds per cell.
+
+Keys are content-addressed: a SHA-256 over a canonical JSON payload of
+everything that determines a run's output — approach, dataset, scale
+geometry, the *entire resolved* :class:`~repro.config.SystemConfig` (so any
+GCCDF override, VC-table choice or restore-cache bound yields a distinct
+key), the workload seed, and a cache-format version.  Bumping
+``CACHE_FORMAT_VERSION`` invalidates every stored run at once (used when
+report schemas or protocol semantics change).
+
+Layout on disk: ``<root>/<key[:2]>/<key>.json``, written atomically
+(temp file + ``os.replace``) so concurrent writers at worst duplicate
+work, never corrupt entries.  The root defaults to ``.repro-cache/`` in
+the current directory and is overridable with ``REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.backup.driver import RotationResult
+from repro.config import SystemConfig
+from repro.workloads.datasets import DEFAULT_SEED
+
+#: Bump to invalidate every persisted run (schema or semantics change).
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the cache root directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Default cache root, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def config_payload(config: SystemConfig) -> dict:
+    """The full config contents as plain data (nested dataclasses → dicts)."""
+    return dataclasses.asdict(config)
+
+
+def run_cache_key(
+    approach: str,
+    dataset: str,
+    scale_name: str,
+    config: SystemConfig,
+    workload_scale: float,
+    num_backups: int,
+    workload_seed: int = DEFAULT_SEED,
+) -> str:
+    """Stable content hash identifying one protocol run.
+
+    The payload covers every input of :func:`repro.experiments.run_protocol`
+    *after* resolution: the resolved ``SystemConfig`` already reflects
+    ``gccdf_overrides``, ``vc_table`` and ``restore_cache_containers``, so
+    distinct overrides hash to distinct keys without enumerating them.
+    """
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "approach": approach,
+        "dataset": dataset,
+        "scale": scale_name,
+        "workload_scale": workload_scale,
+        "num_backups": num_backups,
+        "workload_seed": workload_seed,
+        "config": config_payload(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` or ``.repro-cache/``."""
+    return pathlib.Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR)
+
+
+class RunCache:
+    """On-disk store of :class:`RotationResult`s keyed by content hash."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> RotationResult | None:
+        """Return the cached run, or None on a miss (or unreadable entry)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError(f"cache format {entry.get('format')!r}")
+            result = RotationResult.from_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, truncated, or stale-format entries all count as
+            # misses; the matrix reruns the cell and overwrites the entry.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: RotationResult) -> pathlib.Path:
+        """Persist one run atomically; returns the entry's path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        payload = json.dumps(entry, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

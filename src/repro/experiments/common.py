@@ -85,6 +85,51 @@ def get_scale(name: str | ExperimentScale) -> ExperimentScale:
 
 _RUN_CACHE: dict[tuple, RotationResult] = {}
 
+#: Protocol executions (actual driver runs) in this process; the matrix CLI
+#: prints it so a warm-cache rerun can prove it re-ran nothing.
+_PROTOCOL_RUNS = 0
+
+
+def protocol_runs() -> int:
+    """Number of protocol cells actually executed (not served from any
+    cache) by this process since import."""
+    return _PROTOCOL_RUNS
+
+
+def memo_key(
+    approach: str,
+    dataset_name: str,
+    scale_name: str,
+    vc_table: str | None = None,
+    restore_cache_containers: int | None = None,
+    gccdf_overrides: tuple[tuple[str, object], ...] = (),
+) -> tuple:
+    """The in-process memo key for one protocol cell.
+
+    Shared with the matrix runner (:mod:`repro.experiments.matrix`), which
+    hydrates ``_RUN_CACHE`` under exactly these keys so the figure renderers
+    hit the memo instead of re-running protocols.
+    """
+    return (
+        approach,
+        dataset_name,
+        scale_name,
+        vc_table,
+        restore_cache_containers,
+        tuple(sorted(gccdf_overrides)),
+    )
+
+
+def memoized(key: tuple) -> RotationResult | None:
+    """Look up a completed run in the per-process memo."""
+    return _RUN_CACHE.get(key)
+
+
+def hydrate(key: tuple, result: RotationResult) -> None:
+    """Install an externally produced run (worker process / disk cache)
+    into the per-process memo."""
+    _RUN_CACHE[key] = result
+
 
 def run_protocol(
     approach: str,
@@ -102,16 +147,18 @@ def run_protocol(
     force a fresh run cached under its own key.
     """
     scale = get_scale(scale)
-    key = (
+    key = memo_key(
         approach,
         dataset_name,
         scale.name,
         vc_table,
         restore_cache_containers,
-        tuple(sorted(gccdf_overrides.items())),
+        tuple(gccdf_overrides.items()),
     )
     if use_cache and key in _RUN_CACHE:
         return _RUN_CACHE[key]
+    global _PROTOCOL_RUNS
+    _PROTOCOL_RUNS += 1
     config = scale.config(
         vc_table=vc_table,
         restore_cache_containers=restore_cache_containers,

@@ -1,0 +1,371 @@
+"""Process-parallel experiment-matrix runner.
+
+Figures 11–14, the ablations and the sensitivity sweep all project from the
+same six-approach × four-dataset protocol runs, but the figure modules
+execute cells lazily and serially.  This module turns the other side of
+that coin into a scheduler:
+
+1. :func:`cells_for` enumerates every protocol cell the selected
+   experiments will request — declaratively, from the figure modules' own
+   approach/dataset/sweep constants — and deduplicates across figures
+   (fig12/13/14's cells are a subset of fig11's; the ablations share the
+   plain GCCDF cells' datasets but carry overrides).
+2. :func:`run_matrix` serves each cell from the per-process memo, then the
+   persistent :class:`~repro.experiments.cache.RunCache`, and fans the
+   remaining misses out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+3. Completed runs are hydrated into ``common._RUN_CACHE`` under the exact
+   keys :func:`~repro.experiments.common.run_protocol` computes, so the
+   figure renderers run unmodified — and render in milliseconds.
+
+Workers return :class:`~repro.backup.driver.RotationResult` as plain dicts
+(``to_dict``/``from_dict``), which round-trip exactly, so a ``--jobs 4``
+matrix renders byte-identical tables to a serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.backup.driver import RotationResult
+from repro.errors import ConfigError
+from repro.experiments import ablations, common, fig02, fig11, fig12, fig13, fig14, fig15
+from repro.experiments.cache import RunCache, run_cache_key
+from repro.experiments.common import ExperimentScale, get_scale, run_protocol
+
+#: Where cell wall-times land unless the caller overrides it.
+DEFAULT_BENCH_PATH = "BENCH_matrix.json"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One protocol cell: everything :func:`run_protocol` needs, picklable."""
+
+    approach: str
+    dataset: str
+    scale: str
+    vc_table: str | None = None
+    restore_cache_containers: int | None = None
+    #: Sorted ``(name, value)`` pairs of GCCDF overrides.
+    gccdf_overrides: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "gccdf_overrides", tuple(sorted(self.gccdf_overrides)))
+
+    def memo_key(self) -> tuple:
+        return common.memo_key(
+            self.approach,
+            self.dataset,
+            self.scale,
+            self.vc_table,
+            self.restore_cache_containers,
+            self.gccdf_overrides,
+        )
+
+    def cache_key(self, spec: ExperimentScale | None = None) -> str:
+        """Content hash for the persistent run cache (resolves the config)."""
+        spec = get_scale(spec if spec is not None else self.scale)
+        config = spec.config(
+            vc_table=self.vc_table,
+            restore_cache_containers=self.restore_cache_containers,
+            **dict(self.gccdf_overrides),
+        )
+        return run_cache_key(
+            self.approach,
+            self.dataset,
+            spec.name,
+            config,
+            spec.workload_scale,
+            spec.num_backups(self.dataset),
+        )
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable cell id for progress lines and JSON."""
+        extras = [f"{k}={v}" for k, v in self.gccdf_overrides]
+        if self.vc_table is not None:
+            extras.append(f"vc={self.vc_table}")
+        if self.restore_cache_containers is not None:
+            extras.append(f"rcache={self.restore_cache_containers}")
+        suffix = f" [{' '.join(extras)}]" if extras else ""
+        return f"{self.approach}/{self.dataset}@{self.scale}{suffix}"
+
+    def run(self) -> RotationResult:
+        """Execute the cell in this process (bypassing the memo)."""
+        return run_protocol(
+            self.approach,
+            self.dataset,
+            self.scale,
+            use_cache=False,
+            vc_table=self.vc_table,
+            restore_cache_containers=self.restore_cache_containers,
+            **dict(self.gccdf_overrides),
+        )
+
+
+def _grid(approaches: Sequence[str], datasets: Sequence[str], scale: str) -> list[Cell]:
+    return [Cell(a, d, scale) for d in datasets for a in approaches]
+
+
+def _fig15_cells(scale: str) -> list[Cell]:
+    cells = [
+        Cell("gccdf", fig15.DATASET, scale, gccdf_overrides=(("segment_size", size),))
+        for size in fig15.SEGMENT_SIZES
+    ]
+    cells.append(Cell("gccdf", fig15.DATASET, scale, gccdf_overrides=(("packing", "random"),)))
+    return cells
+
+
+def _ablation_cells(scale: str) -> list[Cell]:
+    cells = [
+        Cell("gccdf", dataset, scale, gccdf_overrides=(("packing", packing),))
+        for dataset in ablations.DATASETS
+        for packing in ablations.PACKINGS
+    ]
+    cells += [
+        Cell("gccdf", dataset, scale, vc_table=vc_table)
+        for dataset in ablations.VC_DATASETS
+        for vc_table in ablations.VC_TABLES
+    ]
+    cells += [
+        Cell(
+            "gccdf",
+            ablations.SPLIT_DATASET,
+            scale,
+            gccdf_overrides=(("split_denial_threshold", threshold),),
+        )
+        for threshold in ablations.SPLIT_THRESHOLDS
+    ]
+    cells += [
+        Cell(approach, ablations.RESTORE_CACHE_DATASET, scale, restore_cache_containers=size)
+        for approach in ablations.RESTORE_CACHE_APPROACHES
+        for size in ablations.RESTORE_CACHE_SIZES
+    ]
+    return cells
+
+
+#: experiment id → cells it requests through ``run_protocol``.  table01 and
+#: fig03 drive their own (cheap) inventory passes and need no cells.
+CELL_BUILDERS: dict[str, Callable[[str], list[Cell]]] = {
+    "table01": lambda scale: [],
+    "fig02": lambda scale: _grid(fig02.APPROACHES, fig02.DATASETS, scale),
+    "fig03": lambda scale: [],
+    "fig11": lambda scale: _grid(fig11.APPROACHES, fig11.DATASETS, scale),
+    "fig12": lambda scale: _grid(fig12.APPROACHES, fig12.DATASETS, scale),
+    "fig13": lambda scale: _grid(fig13.APPROACHES, fig13.DATASETS, scale),
+    "fig14": lambda scale: _grid(fig14.APPROACHES, fig14.DATASETS, scale),
+    "fig15": _fig15_cells,
+    "ablations": _ablation_cells,
+}
+
+
+def cells_for(experiments: Iterable[str], scale: str) -> tuple[Cell, ...]:
+    """Every distinct cell the selected experiments need, in first-seen order."""
+    spec = get_scale(scale)
+    seen: dict[Cell, None] = {}
+    for name in experiments:
+        try:
+            builder = CELL_BUILDERS[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown experiment {name!r}; choose from {sorted(CELL_BUILDERS)}"
+            ) from None
+        for cell in builder(spec.name):
+            seen.setdefault(cell, None)
+    return tuple(seen)
+
+
+def _execute_cell(cell: Cell) -> tuple[dict, float]:
+    """Worker-side entry point: run one cell, ship the result as a dict."""
+    started = time.perf_counter()
+    result = cell.run()
+    return result.to_dict(), time.perf_counter() - started
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """How one cell was satisfied and what it cost."""
+
+    cell: Cell
+    #: ``"run"`` (executed), ``"disk"`` (persistent cache), ``"memo"``
+    #: (already in this process's memo), ``"dedup"`` (shared another
+    #: pending cell's run because the resolved configs were identical —
+    #: e.g. an ablation overriding a knob with its default value).
+    source: str
+    #: Wall-clock seconds of the protocol run (0 for cache hits).
+    seconds: float
+
+
+@dataclass
+class MatrixSummary:
+    """Everything a matrix invocation did, for summaries and BENCH json."""
+
+    scale: str
+    jobs: int
+    outcomes: list[CellOutcome] = field(default_factory=list)
+    #: Wall-clock seconds of the whole matrix pass (cache probes included).
+    wall_seconds: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if o.source == "run")
+
+    @property
+    def disk_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.source == "disk")
+
+    @property
+    def memo_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.source == "memo")
+
+    @property
+    def dedup_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.source == "dedup")
+
+    @property
+    def total_cell_seconds(self) -> float:
+        """Sum of per-cell protocol wall-times (CPU-side work parallelised)."""
+        return sum(o.seconds for o in self.outcomes)
+
+    def format_summary(self) -> str:
+        return (
+            f"matrix: {len(self.outcomes)} cells at scale={self.scale}, jobs={self.jobs} — "
+            f"{self.executed} executed, {self.disk_hits} disk-cache hits, "
+            f"{self.memo_hits} memo hits, {self.dedup_hits} config-dedup hits; "
+            f"cell seconds {self.total_cell_seconds:.1f}, "
+            f"wall {self.wall_seconds:.1f}s"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "jobs": self.jobs,
+            "cells_total": len(self.outcomes),
+            "executed": self.executed,
+            "disk_hits": self.disk_hits,
+            "memo_hits": self.memo_hits,
+            "dedup_hits": self.dedup_hits,
+            "total_cell_seconds": self.total_cell_seconds,
+            "total_wall_seconds": self.wall_seconds,
+            "cells": [
+                {
+                    "label": o.cell.label,
+                    "approach": o.cell.approach,
+                    "dataset": o.cell.dataset,
+                    "scale": o.cell.scale,
+                    "vc_table": o.cell.vc_table,
+                    "restore_cache_containers": o.cell.restore_cache_containers,
+                    "gccdf_overrides": dict(o.cell.gccdf_overrides),
+                    "source": o.source,
+                    "seconds": o.seconds,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+    def write_json(self, path: str | os.PathLike = DEFAULT_BENCH_PATH) -> None:
+        """Persist per-cell and total wall-time (the BENCH_matrix.json file)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def run_matrix(
+    experiments: Iterable[str],
+    scale: str = "quick",
+    jobs: int | None = None,
+    use_cache: bool = True,
+    cache_dir: str | os.PathLike | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> MatrixSummary:
+    """Satisfy every cell the selected experiments need, in parallel.
+
+    Afterwards ``common._RUN_CACHE`` holds all results, so rendering the
+    experiments costs no protocol runs.  ``use_cache=False`` skips the
+    persistent cache entirely (both probe and store); ``jobs=1`` runs the
+    misses serially in-process, with no worker pool.
+    """
+    spec = get_scale(scale)
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    emit = progress or (lambda line: None)
+    cache = RunCache(cache_dir) if use_cache else None
+    if cache is not None:
+        # Fail fast on an unwritable root (e.g. a mistyped REPRO_CACHE_DIR)
+        # rather than after the first completed cell tries to persist.
+        try:
+            cache.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigError(
+                f"run-cache directory {cache.root} is not writable ({exc}); "
+                "set REPRO_CACHE_DIR to a writable path or disable the "
+                "cache (--no-cache / use_cache=False)"
+            ) from exc
+
+    wall_started = time.perf_counter()
+    cells = cells_for(experiments, spec.name)
+    outcomes: dict[Cell, CellOutcome] = {}
+    # Pending cells grouped by content hash: cells whose resolved configs
+    # are identical (e.g. an ablation overriding a knob with its default
+    # value) share one protocol run — and therefore one cache entry, so a
+    # rerun served from disk renders byte-identically to the cold pass.
+    pending: dict[str, list[Cell]] = {}
+    for cell in cells:
+        if common.memoized(cell.memo_key()) is not None:
+            outcomes[cell] = CellOutcome(cell, "memo", 0.0)
+            continue
+        key = cell.cache_key(spec)
+        if cache is not None:
+            result = cache.load(key)
+            if result is not None:
+                common.hydrate(cell.memo_key(), result)
+                outcomes[cell] = CellOutcome(cell, "disk", 0.0)
+                emit(f"[cache] {cell.label}")
+                continue
+        pending.setdefault(key, []).append(cell)
+
+    def finish(key: str, result: RotationResult, seconds: float, done: int) -> None:
+        representative, *sharers = pending[key]
+        if cache is not None:
+            cache.store(key, result)
+        for cell in pending[key]:
+            common.hydrate(cell.memo_key(), result)
+        outcomes[representative] = CellOutcome(representative, "run", seconds)
+        for cell in sharers:
+            outcomes[cell] = CellOutcome(cell, "dedup", 0.0)
+        shared = f" (+{len(sharers)} shared)" if sharers else ""
+        emit(f"[{done}/{len(pending)}] {representative.label}: {seconds:.1f}s{shared}")
+
+    if jobs == 1 or len(pending) <= 1:
+        for done, (key, group) in enumerate(pending.items(), start=1):
+            started = time.perf_counter()
+            result = group[0].run()
+            finish(key, result, time.perf_counter() - started, done)
+    elif pending:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_execute_cell, group[0]): key
+                for key, group in pending.items()
+            }
+            done = 0
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    data, seconds = future.result()
+                    done += 1
+                    finish(futures[future], RotationResult.from_dict(data), seconds, done)
+
+    summary = MatrixSummary(
+        scale=spec.name,
+        jobs=jobs,
+        outcomes=[outcomes[cell] for cell in cells],
+        wall_seconds=time.perf_counter() - wall_started,
+    )
+    emit(summary.format_summary())
+    return summary

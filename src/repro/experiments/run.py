@@ -3,11 +3,22 @@
 Usage::
 
     python -m repro.experiments.run --figure fig11 --scale full
-    python -m repro.experiments.run --all --scale quick
+    python -m repro.experiments.run --all --scale quick --jobs 4
+    repro-experiments --list                    # experiment index
     repro-experiments --figure table01          # console script
 
-Figures sharing protocol runs (11–14) reuse each other's results within one
-invocation, so ``--all`` costs barely more than the slowest single figure.
+Protocol cells are scheduled by :mod:`repro.experiments.matrix`: the cells
+the selected figures need are enumerated up front, deduplicated (figures
+11–14 share runs), served from the persistent run cache under
+``.repro-cache/`` (``REPRO_CACHE_DIR`` overrides; ``--no-cache`` bypasses),
+and the misses fan out over ``--jobs`` worker processes.  Rendering then
+reads the hydrated in-process memo, so ``--all`` costs barely more than the
+slowest cell — and a warm-cache rerun costs no protocol runs at all.
+
+Tables go to stdout; progress lines, the matrix summary and cache-hit
+counters go to stderr, so redirected stdout is byte-stable across ``--jobs``
+values and cache states.  Per-cell and total wall-times are written to
+``BENCH_matrix.json`` (``--bench-json`` overrides the path).
 """
 
 from __future__ import annotations
@@ -16,7 +27,8 @@ import argparse
 import sys
 import time
 
-from repro.experiments import common  # noqa: F401  (re-exported scales)
+from repro.errors import ConfigError
+from repro.experiments import common, matrix
 from repro.experiments import (
     ablations,
     fig02,
@@ -29,17 +41,26 @@ from repro.experiments import (
     table01,
 )
 
-EXPERIMENTS = {
-    "table01": table01.run,
-    "fig02": fig02.run,
-    "fig03": fig03.run,
-    "fig11": fig11.run,
-    "fig12": fig12.run,
-    "fig13": fig13.run,
-    "fig14": fig14.run,
-    "fig15": fig15.run,
-    "ablations": ablations.run,
+_MODULES = {
+    "table01": table01,
+    "fig02": fig02,
+    "fig03": fig03,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "ablations": ablations,
 }
+
+EXPERIMENTS = {name: module.run for name, module in _MODULES.items()}
+
+
+def describe(name: str) -> str:
+    """One-line description of an experiment: its module docstring's head."""
+    doc = _MODULES[name].__doc__ or ""
+    first = doc.strip().splitlines()[0] if doc.strip() else ""
+    return first.rstrip(".")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -51,10 +72,15 @@ def main(argv: list[str] | None = None) -> int:
         "--figure",
         choices=sorted(EXPERIMENTS),
         action="append",
-        help="experiment id (repeatable); see DESIGN.md's experiment index",
+        help="experiment id (repeatable); see --list or DESIGN.md's index",
     )
     parser.add_argument(
         "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print experiment ids with one-line descriptions and exit",
     )
     parser.add_argument(
         "--scale",
@@ -62,17 +88,65 @@ def main(argv: list[str] | None = None) -> int:
         default="quick",
         help="fidelity level (quick=seconds, full=the paper's protocol)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for protocol cells (default: CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent run cache (neither read nor write it)",
+    )
+    parser.add_argument(
+        "--bench-json",
+        default=matrix.DEFAULT_BENCH_PATH,
+        metavar="PATH",
+        help="where to write per-cell wall-times (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    if args.list:
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:<{width}}  {describe(name)}")
+        return 0
 
     selected = sorted(EXPERIMENTS) if args.all else (args.figure or [])
     if not selected:
-        parser.error("pass --figure <id> (repeatable) or --all")
+        parser.error("pass --figure <id> (repeatable), --all, or --list")
 
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    try:
+        summary = matrix.run_matrix(
+            selected,
+            scale=args.scale,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            progress=progress,
+        )
+    except ConfigError as exc:
+        parser.error(str(exc))
+    summary.write_json(args.bench_json)
+
+    runs_after_matrix = common.protocol_runs()
     for name in selected:
         started = time.perf_counter()
         print(EXPERIMENTS[name](args.scale))
         elapsed = time.perf_counter() - started
         print(f"[{name} completed in {elapsed:.1f}s]\n")
+
+    progress(
+        "protocol re-runs while rendering (0 means the matrix covered "
+        f"every cell): {common.protocol_runs() - runs_after_matrix}"
+    )
+    progress(f"wall-times written to {args.bench_json}")
     return 0
 
 

@@ -72,6 +72,18 @@ class MarkStage:
     def run(self) -> MarkResult:
         before = self.disk.snapshot()
 
+        # The index is immutable for the duration of one mark run, and
+        # chunks shared across backups recur once per referencing recipe,
+        # so resolved placements are memoised for the whole traversal
+        # (pass 2 would otherwise re-probe the same fingerprint per recipe).
+        # The memo is probed inline via C-level ``dict.get`` with a miss
+        # sentinel: on the dedup-heavy pass-2 hot path that replaces a
+        # Python-level ``index.lookup`` call per entry.
+        missing = object()
+        resolved: dict[bytes, object] = {}
+        resolved_get = resolved.get
+        index_lookup = self.index.lookup
+
         # Pass 1 — deleted recipes: find containers that may hold garbage.
         gs_set: set[int] = set()
         candidate_keys: set[bytes] = set()
@@ -81,7 +93,7 @@ class MarkStage:
                 if entry.fp in candidate_keys:
                     continue
                 candidate_keys.add(entry.fp)
-                placement = self.index.lookup(entry.fp)
+                placement = resolved[entry.fp] = index_lookup(entry.fp)
                 if placement is not None:
                     gs_set.add(placement.container_id)
 
@@ -92,8 +104,11 @@ class MarkStage:
             self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
             seen_containers: set[int] = set()
             for entry in recipe.entries:
-                vc_table.add(entry.fp)
-                placement = self.index.lookup(entry.fp)
+                fp = entry.fp
+                vc_table.add(fp)
+                placement = resolved_get(fp, missing)
+                if placement is missing:
+                    placement = resolved[fp] = index_lookup(fp)
                 if placement is None:
                     continue
                 container_id = placement.container_id

@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.util.units import format_bytes, format_duration
 
@@ -39,6 +39,14 @@ class GCReport:
     #: Measured Python wall-clock seconds of the Analyzer/Planner
     #: (informational only — interpreter speed, not system cost).
     analyze_cpu_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-scalar dict; round-trips through JSON (run cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GCReport":
+        return cls(**data)
 
     @property
     def total_seconds(self) -> float:

@@ -11,7 +11,7 @@ The two headline metrics follow the paper's definitions exactly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 
 @dataclass(frozen=True)
@@ -29,6 +29,14 @@ class RestoreReport:
     read_seconds: float
     #: Container-cache hits (container already in restore cache).
     cache_hits: int
+
+    def to_dict(self) -> dict:
+        """Plain-scalar dict; round-trips through JSON (run cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RestoreReport":
+        return cls(**data)
 
     @property
     def read_amplification(self) -> float:

@@ -39,8 +39,11 @@ class ContainerCache:
         """Fetch a container, reading from disk only on a miss."""
         cached = self._entries.get(container_id)
         if cached is not None:
-            self._entries.move_to_end(container_id)
             self.hits += 1
+            # An unbounded cache never evicts, so recency bookkeeping
+            # would be pure per-chunk overhead on the restore hot path.
+            if self.capacity is not None:
+                self._entries.move_to_end(container_id)
             return cached
         self.misses += 1
         container = self.store.read_container(container_id)

@@ -38,6 +38,10 @@ from repro.workloads.source import MutatingSource, MutationProfile
 #: Default trace-level chunk geometry (matches ``SystemConfig.scaled()``).
 DEFAULT_CHUNKING = ChunkingConfig(min_size=256, avg_size=1 * KIB, max_size=4 * KIB)
 
+#: Default dataset seed; part of the persistent run-cache key, so bumping it
+#: invalidates cached protocol runs along with the workloads they ran over.
+DEFAULT_SEED = 2025
+
 
 @dataclass(frozen=True)
 class SourceSpec:
@@ -63,7 +67,7 @@ class Dataset:
         num_backups: int,
         sources: list[SourceSpec],
         chunking: ChunkingConfig = DEFAULT_CHUNKING,
-        seed: int = 2025,
+        seed: int = DEFAULT_SEED,
     ):
         if num_backups <= 0:
             raise ConfigError("num_backups must be positive")
@@ -106,7 +110,7 @@ def _scaled(nbytes: float, scale: float) -> int:
     return max(16 * KIB, int(nbytes * scale))
 
 
-def web(scale: float = 1.0, num_backups: int = 100, seed: int = 2025) -> Dataset:
+def web(scale: float = 1.0, num_backups: int = 100, seed: int = DEFAULT_SEED) -> Dataset:
     """§3.1's WEB: 100 snapshots of a news website, single source."""
     profile = MutationProfile(
         modify_file_fraction=0.20,
@@ -131,7 +135,7 @@ def web(scale: float = 1.0, num_backups: int = 100, seed: int = 2025) -> Dataset
     )
 
 
-def wiki(scale: float = 1.0, num_backups: int = 120, seed: int = 2025) -> Dataset:
+def wiki(scale: float = 1.0, num_backups: int = 120, seed: int = DEFAULT_SEED) -> Dataset:
     """Table 1 WIKI: Wikipedia dumps of four languages, round-robin."""
     profile = MutationProfile(
         modify_file_fraction=0.45,
@@ -158,7 +162,7 @@ def wiki(scale: float = 1.0, num_backups: int = 120, seed: int = 2025) -> Datase
     )
 
 
-def code(scale: float = 1.0, num_backups: int = 220, seed: int = 2025) -> Dataset:
+def code(scale: float = 1.0, num_backups: int = 220, seed: int = DEFAULT_SEED) -> Dataset:
     """Table 1 CODE: Chromium/LLVM/Linux version history, round-robin."""
     profile = MutationProfile(
         modify_file_fraction=0.30,
@@ -185,7 +189,7 @@ def code(scale: float = 1.0, num_backups: int = 220, seed: int = 2025) -> Datase
     )
 
 
-def mix(scale: float = 1.0, num_backups: int = 200, seed: int = 2025) -> Dataset:
+def mix(scale: float = 1.0, num_backups: int = 200, seed: int = DEFAULT_SEED) -> Dataset:
     """Table 1 MIX: news website + Redis dumps, strictly alternating."""
     web_profile = MutationProfile(
         modify_file_fraction=0.20,
@@ -224,7 +228,7 @@ def mix(scale: float = 1.0, num_backups: int = 200, seed: int = 2025) -> Dataset
     )
 
 
-def syn(scale: float = 1.0, num_backups: int = 240, seed: int = 2025) -> Dataset:
+def syn(scale: float = 1.0, num_backups: int = 240, seed: int = DEFAULT_SEED) -> Dataset:
     """Table 1 SYN: synthetic create/delete/modify volumes (Tarasov-style)."""
     profile = MutationProfile(
         modify_file_fraction=0.30,

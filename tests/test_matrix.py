@@ -1,0 +1,181 @@
+"""The parallel experiment-matrix runner: coverage, determinism, caching.
+
+The pool-determinism guard renders figures from results produced by a
+4-worker process pool and asserts byte-identical text against a serial
+in-process run.  (``GCReport.analyze_cpu_seconds`` — *measured* interpreter
+wall time — is the one nondeterministic field in any run; fig14 prints it
+in its informational ``(cpu)`` column, so the guard uses figures built
+purely from simulated quantities.)
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import clear_cache, fig02, fig15, protocol_runs
+from repro.experiments.common import memoized
+from repro.experiments.matrix import CELL_BUILDERS, Cell, cells_for, run_matrix
+from repro.experiments.run import EXPERIMENTS, describe, main
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCellEnumeration:
+    def test_registry_parity_with_cli(self):
+        assert set(CELL_BUILDERS) == set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            cells_for(["fig99"], "quick")
+
+    def test_dedup_across_figures(self):
+        fig11_only = cells_for(["fig11"], "quick")
+        # fig12/13/14 read projections of fig11's runs (minus nondedup).
+        combined = cells_for(["fig11", "fig12", "fig13", "fig14"], "quick")
+        assert set(combined) == set(fig11_only)
+
+    def test_fig15_cells_carry_overrides(self):
+        cells = cells_for(["fig15"], "quick")
+        assert all(cell.approach == "gccdf" and cell.dataset == "mix" for cell in cells)
+        segment_sizes = {
+            dict(cell.gccdf_overrides).get("segment_size") for cell in cells
+        }
+        assert {10, 25, 50, 100, 200} <= segment_sizes
+
+    def test_cells_are_picklable_and_hashable(self):
+        import pickle
+
+        cells = cells_for(["ablations"], "quick")
+        assert len(set(cells)) == len(cells)
+        assert pickle.loads(pickle.dumps(cells)) == cells
+
+
+class TestMatrixExecution:
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        """Determinism guard for the pool: --jobs 4 ≡ --jobs 1."""
+        serial = run_matrix(["fig02"], "quick", jobs=1, use_cache=False)
+        assert serial.executed == len(cells_for(["fig02"], "quick"))
+        serial_text = fig02.run("quick")
+
+        clear_cache()
+        parallel = run_matrix(
+            ["fig02"], "quick", jobs=4, cache_dir=tmp_path / "cache"
+        )
+        assert parallel.executed == serial.executed
+        assert fig02.run("quick") == serial_text
+
+    def test_matrix_hydrates_memo_and_rendering_reruns_nothing(self):
+        summary = run_matrix(["fig15"], "quick", jobs=1, use_cache=False)
+        assert summary.executed == len(cells_for(["fig15"], "quick"))
+        for cell in cells_for(["fig15"], "quick"):
+            assert memoized(cell.memo_key()) is not None
+        runs_before = protocol_runs()
+        text = fig15.run("quick")
+        assert text.strip()
+        assert protocol_runs() == runs_before
+
+    def test_warm_disk_cache_reruns_nothing(self, tmp_path):
+        cold = run_matrix(["fig02"], "quick", jobs=2, cache_dir=tmp_path / "cache")
+        assert cold.executed == len(cold.outcomes)
+        cold_text = fig02.run("quick")
+
+        clear_cache()
+        warm = run_matrix(["fig02"], "quick", jobs=2, cache_dir=tmp_path / "cache")
+        assert warm.executed == 0
+        assert warm.disk_hits == len(warm.outcomes)
+        assert fig02.run("quick") == cold_text
+
+        # A third pass in the same process hits the memo, not the disk.
+        memo = run_matrix(["fig02"], "quick", jobs=2, cache_dir=tmp_path / "cache")
+        assert memo.memo_hits == len(memo.outcomes)
+
+    def test_summary_json(self, tmp_path):
+        summary = run_matrix(["fig02"], "quick", jobs=1, use_cache=False)
+        path = tmp_path / "BENCH_matrix.json"
+        summary.write_json(path)
+        data = json.loads(path.read_text())
+        assert data["cells_total"] == len(summary.outcomes)
+        assert data["executed"] == summary.executed
+        assert data["scale"] == "quick"
+        assert data["total_wall_seconds"] > 0
+        assert data["total_cell_seconds"] > 0
+        assert len(data["cells"]) == data["cells_total"]
+        for cell in data["cells"]:
+            assert cell["source"] in ("run", "disk", "memo", "dedup")
+            assert cell["seconds"] >= 0
+            assert cell["label"]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            run_matrix(["fig02"], "quick", jobs=0, use_cache=False)
+
+    def test_unwritable_cache_dir_fails_fast(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        with pytest.raises(ConfigError, match="not writable"):
+            run_matrix(["fig02"], "quick", jobs=1, cache_dir=blocker / "cache")
+
+    def test_identical_resolved_configs_share_one_run(self, monkeypatch):
+        """An override pinning a knob to its default resolves to the same
+        config, so the matrix runs the protocol once for both cells."""
+        plain = Cell("gccdf", "mix", "quick")
+        pinned = Cell("gccdf", "mix", "quick", gccdf_overrides=(("segment_size", 100),))
+        assert plain.memo_key() != pinned.memo_key()
+        assert plain.cache_key() == pinned.cache_key()
+
+        monkeypatch.setitem(CELL_BUILDERS, "_dup", lambda scale: [plain, pinned])
+        summary = run_matrix(["_dup"], "quick", jobs=1, use_cache=False)
+        assert summary.executed == 1
+        assert summary.dedup_hits == 1
+        assert memoized(plain.memo_key()) is memoized(pinned.memo_key())
+
+
+class TestCli:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        assert "Fig. 11" in out
+
+    def test_describe_is_one_line(self):
+        for name in EXPERIMENTS:
+            text = describe(name)
+            assert text
+            assert "\n" not in text
+
+    def test_cli_runs_figure_through_matrix(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        bench = tmp_path / "BENCH_matrix.json"
+        assert (
+            main(
+                [
+                    "--figure",
+                    "table01",
+                    "--figure",
+                    "fig02",
+                    "--scale",
+                    "quick",
+                    "--jobs",
+                    "2",
+                    "--bench-json",
+                    str(bench),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "Fig. 2" in captured.out
+        assert "Table 1" in captured.out
+        assert "matrix:" in captured.err
+        assert "protocol re-runs while rendering" in captured.err
+        data = json.loads(bench.read_text())
+        assert data["cells_total"] == len(cells_for(["fig02", "table01"], "quick"))
