@@ -17,8 +17,11 @@ Quickstart::
 Public surface: configuration (:class:`SystemConfig`), the approach factory
 (:func:`make_service` — nondedup/naive/capping/har/smr/mfdedup/gccdf), the
 dataset presets (:func:`dataset`), the evaluation driver
-(:class:`RotationDriver`), and the underlying building blocks re-exported
+(:class:`RotationDriver`), the observability layer (:class:`Tracer` /
+:class:`TraceRecorder` / :class:`MetricsRegistry`, see
+``docs/observability.md``), and the underlying building blocks re-exported
 from their subpackages for library users who compose their own systems.
+``__all__`` below is the stable surface; anything else is internal.
 """
 
 from repro.config import (
@@ -35,12 +38,24 @@ from repro.backup import (
     DedupBackupService,
     RotationDriver,
     RotationResult,
+    ServiceStats,
     make_service,
 )
 from repro.backup.driver import BackupSpec
 from repro.core import GCCDFMigration
 from repro.gc import MarkSweepGC, NaiveMigration
 from repro.mfdedup import MFDedupService
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    TraceRecorder,
+    read_trace,
+    write_trace,
+)
+from repro.simio import DiskModel, IOStats, PhaseScope
 from repro.workloads import DATASET_NAMES, Dataset, dataset
 
 __version__ = "1.0.0"
@@ -55,6 +70,7 @@ __all__ = [
     "ChunkRef",
     "APPROACHES",
     "BackupService",
+    "ServiceStats",
     "DedupBackupService",
     "RotationDriver",
     "RotationResult",
@@ -64,6 +80,17 @@ __all__ = [
     "MarkSweepGC",
     "NaiveMigration",
     "MFDedupService",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceRecorder",
+    "TraceEvent",
+    "MetricsRegistry",
+    "read_trace",
+    "write_trace",
+    "DiskModel",
+    "IOStats",
+    "PhaseScope",
     "DATASET_NAMES",
     "Dataset",
     "dataset",

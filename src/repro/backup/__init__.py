@@ -1,6 +1,6 @@
 """System facade: backup services, retention, and the evaluation driver."""
 
-from repro.backup.service import BackupService
+from repro.backup.service import BackupService, ServiceStats
 from repro.backup.system import DedupBackupService
 from repro.backup.retention import RetentionPolicy
 from repro.backup.approaches import APPROACHES, make_service
@@ -8,6 +8,7 @@ from repro.backup.driver import RotationDriver, RotationResult
 
 __all__ = [
     "BackupService",
+    "ServiceStats",
     "DedupBackupService",
     "RetentionPolicy",
     "APPROACHES",

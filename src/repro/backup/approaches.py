@@ -22,6 +22,7 @@ from repro.core.gccdf import GCCDFMigration
 from repro.dedup.rewriting import make_rewriting
 from repro.gc.migration import NaiveMigration
 from repro.mfdedup.engine import MFDedupService
+from repro.obs.tracer import Tracer
 
 #: Approaches in the order the paper's figures list them.
 APPROACHES = ("nondedup", "naive", "capping", "har", "smr", "mfdedup", "gccdf")
@@ -31,34 +32,41 @@ def make_service(
     approach: str,
     config: SystemConfig | None = None,
     seed: int = 0,
+    tracer: Tracer | None = None,
     **policy_kwargs,
 ) -> BackupService:
     """Build a backup service for one approach.
 
     ``policy_kwargs`` are forwarded to the rewriting policy (e.g.
     ``cap=20`` for capping, ``utilization_threshold=0.5`` for HAR).
+    ``tracer`` attaches a :class:`~repro.obs.tracer.Tracer` to the
+    service's simulated disk; the default is the null tracer (no events,
+    unmeasurable overhead).
     """
     config = config or SystemConfig.scaled()
     if approach == "mfdedup":
-        return MFDedupService(config=config)
+        return MFDedupService(config=config, tracer=tracer)
     if approach == "nondedup":
         return DedupBackupService(
             config=config,
             dedup_enabled=False,
             migration=NaiveMigration(),
             name="nondedup",
+            tracer=tracer,
         )
     if approach == "gccdf":
         return DedupBackupService(
             config=config,
             migration=GCCDFMigration(seed=seed),
             name="gccdf",
+            tracer=tracer,
         )
     if approach in ("naive", "capping", "har", "smr"):
         service = DedupBackupService(
             config=config,
             migration=NaiveMigration(),
             name=approach,
+            tracer=tracer,
         )
         if approach != "naive":
             service.pipeline.rewriting = make_rewriting(

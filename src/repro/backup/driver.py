@@ -25,6 +25,7 @@ from repro.config import RetentionConfig
 from repro.dedup.pipeline import IngestResult
 from repro.gc.report import GCReport
 from repro.model import ChunkRef
+from repro.obs.metrics import rotation_metrics
 from repro.restore.report import RestoreReport
 
 
@@ -53,6 +54,10 @@ class RotationResult:
     physical_bytes: int = 0
     cumulative_logical_bytes: int = 0
     cumulative_stored_bytes: int = 0
+    #: Aggregated per-run counters/histograms
+    #: (:func:`repro.obs.metrics.rotation_metrics` form); carried through
+    #: the persistent run cache, so cached runs keep their metrics.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def mean_read_amplification(self) -> float:
@@ -90,6 +95,7 @@ class RotationResult:
             "physical_bytes": self.physical_bytes,
             "cumulative_logical_bytes": self.cumulative_logical_bytes,
             "cumulative_stored_bytes": self.cumulative_stored_bytes,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -106,6 +112,7 @@ class RotationResult:
             physical_bytes=data["physical_bytes"],
             cumulative_logical_bytes=data["cumulative_logical_bytes"],
             cumulative_stored_bytes=data["cumulative_stored_bytes"],
+            metrics=dict(data.get("metrics", {})),
         )
 
 
@@ -165,8 +172,10 @@ class RotationDriver:
         for backup_id in self.service.live_backup_ids():
             result.restore_reports.append(self.service.restore(backup_id))
 
-        result.dedup_ratio = self.service.dedup_ratio
-        result.physical_bytes = self.service.physical_bytes
-        result.cumulative_logical_bytes = self.service.cumulative_logical_bytes
-        result.cumulative_stored_bytes = self.service.cumulative_stored_bytes
+        stats = self.service.stats()
+        result.dedup_ratio = stats.dedup_ratio
+        result.physical_bytes = stats.physical_bytes
+        result.cumulative_logical_bytes = stats.cumulative_logical_bytes
+        result.cumulative_stored_bytes = stats.cumulative_stored_bytes
+        result.metrics = rotation_metrics(result, stats)
         return result

@@ -1,10 +1,11 @@
 """The backup-service interface every approach implements.
 
 The evaluation driver (paper §6.1 protocol) is approach-agnostic: it only
-needs ingest / delete / GC / restore plus the accounting properties below.
-Container-based approaches (Naïve, Capping, HAR, SMR, GCCDF, Non-dedup) share
-:class:`repro.backup.system.DedupBackupService`; MFDedup has its own engine
-with a volume-based layout but speaks the same interface.
+needs ingest / delete / GC / restore plus the :meth:`BackupService.stats`
+accounting below.  Container-based approaches (Naïve, Capping, HAR, SMR,
+GCCDF, Non-dedup) share :class:`repro.backup.system.DedupBackupService`;
+MFDedup has its own engine with a volume-based layout but speaks the same
+interface.
 
 Dedup-ratio convention (paper §6.2): *actual deduplication ratio* =
 original dataset size / actual space cost — computed over the whole run as
@@ -16,6 +17,7 @@ for every extra copy, matching Fig. 11's accounting.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Iterable, Union
 
 from repro.dedup.pipeline import IngestResult
@@ -24,6 +26,38 @@ from repro.model import Chunk, ChunkRef
 from repro.restore.report import RestoreReport
 
 ChunkStream = Iterable[Union[Chunk, ChunkRef]]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A service's whole-run space accounting, in one immutable snapshot.
+
+    Returned by :meth:`BackupService.stats`; the individual properties on
+    the service are deprecated shims over this.
+    """
+
+    #: Total pre-dedup bytes ingested over the service's lifetime.
+    cumulative_logical_bytes: int
+    #: Total chunk bytes ever written to backup storage.
+    cumulative_stored_bytes: int
+    #: Bytes currently occupied on the backup store.
+    physical_bytes: int
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Actual deduplication ratio over the whole run (Fig. 11)."""
+        if self.cumulative_stored_bytes == 0:
+            return float("inf") if self.cumulative_logical_bytes else 1.0
+        return self.cumulative_logical_bytes / self.cumulative_stored_bytes
+
+    def to_dict(self) -> dict:
+        """Plain-scalar dict (metrics payloads, JSON-exact)."""
+        return {
+            "cumulative_logical_bytes": self.cumulative_logical_bytes,
+            "cumulative_stored_bytes": self.cumulative_stored_bytes,
+            "physical_bytes": self.physical_bytes,
+            "dedup_ratio": self.dedup_ratio,
+        }
 
 
 class BackupService(ABC):
@@ -52,31 +86,33 @@ class BackupService(ABC):
     def live_backup_ids(self) -> list[int]:
         """Ids of live (restorable) backups, oldest first."""
 
+    @abstractmethod
+    def stats(self) -> ServiceStats:
+        """The service's whole-run space accounting (one snapshot)."""
+
     # ------------------------------------------------------------------
-    # Accounting properties (implemented by subclasses' counters).
+    # Deprecated accounting shims (use :meth:`stats` instead).
     # ------------------------------------------------------------------
 
     @property
-    @abstractmethod
     def cumulative_logical_bytes(self) -> int:
-        """Total pre-dedup bytes ingested over the service's lifetime."""
+        """Deprecated: read ``stats().cumulative_logical_bytes``."""
+        return self.stats().cumulative_logical_bytes
 
     @property
-    @abstractmethod
     def cumulative_stored_bytes(self) -> int:
-        """Total chunk bytes ever written to backup storage."""
+        """Deprecated: read ``stats().cumulative_stored_bytes``."""
+        return self.stats().cumulative_stored_bytes
 
     @property
-    @abstractmethod
     def physical_bytes(self) -> int:
-        """Bytes currently occupied on the backup store."""
+        """Deprecated: read ``stats().physical_bytes``."""
+        return self.stats().physical_bytes
 
     @property
     def dedup_ratio(self) -> float:
-        """Actual deduplication ratio over the whole run (Fig. 11)."""
-        if self.cumulative_stored_bytes == 0:
-            return float("inf") if self.cumulative_logical_bytes else 1.0
-        return self.cumulative_logical_bytes / self.cumulative_stored_bytes
+        """Deprecated: read ``stats().dedup_ratio``."""
+        return self.stats().dedup_ratio
 
     def delete_oldest(self, count: int) -> list[int]:
         """Logically delete the ``count`` oldest live backups (§6.1 rotation);

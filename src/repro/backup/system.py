@@ -20,7 +20,7 @@ GCCDF          none                 GCCDFMigration
 
 from __future__ import annotations
 
-from repro.backup.service import BackupService, ChunkStream
+from repro.backup.service import BackupService, ChunkStream, ServiceStats
 from repro.config import SystemConfig
 from repro.dedup.pipeline import IngestPipeline, IngestResult
 from repro.dedup.rewriting.base import RewritingPolicy
@@ -29,6 +29,7 @@ from repro.gc.migration import MigrationStrategy
 from repro.gc.report import GCReport
 from repro.index.fingerprint_index import FingerprintIndex
 from repro.index.recipe import RecipeStore
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.restore.engine import RestoreEngine
 from repro.restore.report import RestoreReport
 from repro.simio.disk import DiskModel
@@ -45,11 +46,14 @@ class DedupBackupService(BackupService):
         migration: MigrationStrategy | None = None,
         dedup_enabled: bool = True,
         name: str = "naive",
+        tracer: Tracer | None = None,
     ):
         self.config = config or SystemConfig.scaled()
         self.config.validate()
         self.name = name
-        self.disk = DiskModel(self.config.disk)
+        # Explicit None test: an empty TraceRecorder is falsy (len == 0).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.disk = DiskModel(self.config.disk, tracer=self.tracer)
         self.store = ContainerStore(self.config.container_size, self.disk)
         self.index = FingerprintIndex()
         self.recipes = RecipeStore()
@@ -106,17 +110,12 @@ class DedupBackupService(BackupService):
     def live_backup_ids(self) -> list[int]:
         return self.recipes.live_ids()
 
-    @property
-    def cumulative_logical_bytes(self) -> int:
-        return self._cumulative_logical
-
-    @property
-    def cumulative_stored_bytes(self) -> int:
-        return self._cumulative_stored
-
-    @property
-    def physical_bytes(self) -> int:
-        return self.store.stored_bytes
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            cumulative_logical_bytes=self._cumulative_logical,
+            cumulative_stored_bytes=self._cumulative_stored,
+            physical_bytes=self.store.stored_bytes,
+        )
 
     # ------------------------------------------------------------------
     # Introspection helpers used by examples and tests

@@ -89,6 +89,19 @@ class GCCDFMigration:
                 result.reclaimed_ids.append(container_id)
             result.reclaimed_bytes += segment.invalid_bytes
 
+            tracer = ctx.disk.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    "gc.segment",
+                    sim_time=ctx.disk.sim_time,
+                    fields={
+                        "containers": len(segment.container_ids),
+                        "clusters": order.num_clusters,
+                        "migrated_chunks": order.num_chunks,
+                        "invalid_bytes": segment.invalid_bytes,
+                    },
+                )
+
         result.produced_ids = writer.flush()
         ctx.analyze_parallelism = min(
             self.parallel_workers, max(1, len(self.last_cluster_counts))

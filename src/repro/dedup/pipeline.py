@@ -104,29 +104,38 @@ class IngestPipeline:
             if entry.duplicate:
                 rewritten_bytes += entry.size
 
-        for item in stream:
-            if isinstance(item, Chunk):
-                fp, size, payload = item.fp, item.size, item.data
-            else:
-                fp, size, payload = item.fp, item.size, None
-            logical_bytes += size
-            entry = IngestEntry(fp=fp, size=size, payload=payload)
-            if self.dedup_enabled:
-                hit = self.logical.lookup(fp)
-                if hit is not None:
-                    key, placement = hit
-                    # A copy sitting in the still-open container cannot be
-                    # fragmented away from this stream; treat normally.
-                    entry.duplicate = True
-                    entry.existing_key = key
-                    entry.container_id = placement.container_id
-            for decided in self.rewriting.feed(entry):
-                write_entry(decided)
+        with self.store.disk.phase("ingest") as ph:
+            for item in stream:
+                if isinstance(item, Chunk):
+                    fp, size, payload = item.fp, item.size, item.data
+                else:
+                    fp, size, payload = item.fp, item.size, None
+                logical_bytes += size
+                entry = IngestEntry(fp=fp, size=size, payload=payload)
+                if self.dedup_enabled:
+                    hit = self.logical.lookup(fp)
+                    if hit is not None:
+                        key, placement = hit
+                        # A copy sitting in the still-open container cannot be
+                        # fragmented away from this stream; treat normally.
+                        entry.duplicate = True
+                        entry.existing_key = key
+                        entry.container_id = placement.container_id
+                for decided in self.rewriting.feed(entry):
+                    write_entry(decided)
 
-        for decided in self.rewriting.flush():
-            write_entry(decided)
-        containers = writer.flush()
-        self.rewriting.end_backup()
+            for decided in self.rewriting.flush():
+                write_entry(decided)
+            containers = writer.flush()
+            self.rewriting.end_backup()
+            ph.annotate(
+                backup_id=backup_id,
+                logical_bytes=logical_bytes,
+                stored_bytes=stored_bytes,
+                dedup_bytes=dedup_bytes,
+                rewritten_bytes=rewritten_bytes,
+                containers_written=len(containers),
+            )
 
         recipe = Recipe(backup_id=backup_id, entries=tuple(recipe_keys), source=source)
         self.recipes.add(recipe)

@@ -34,7 +34,9 @@ from repro.config import SystemConfig
 from repro.workloads.datasets import DEFAULT_SEED
 
 #: Bump to invalidate every persisted run (schema or semantics change).
-CACHE_FORMAT_VERSION = 1
+#: v2: RotationResult carries a ``metrics`` payload (repro.obs), so v1
+#: entries — which would hydrate with empty metrics — are invalidated.
+CACHE_FORMAT_VERSION = 2
 
 #: Environment variable overriding the cache root directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

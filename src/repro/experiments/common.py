@@ -138,6 +138,7 @@ def run_protocol(
     use_cache: bool = True,
     vc_table: str | None = None,
     restore_cache_containers: int | None = None,
+    tracer=None,
     **gccdf_overrides,
 ) -> RotationResult:
     """Run the §6.1 protocol for one (approach, dataset) pair.
@@ -145,6 +146,11 @@ def run_protocol(
     Results are memoised per process (figures 11–14 share runs); extra
     overrides (GCCDF knobs, ``vc_table``, ``restore_cache_containers``)
     force a fresh run cached under its own key.
+
+    ``tracer`` attaches a :class:`~repro.obs.tracer.Tracer` to the run's
+    simulated disk.  A traced call always executes the protocol (a memoised
+    result has no events to replay), but still memoises its result, since
+    tracing never changes it.
     """
     scale = get_scale(scale)
     key = memo_key(
@@ -155,7 +161,7 @@ def run_protocol(
         restore_cache_containers,
         tuple(gccdf_overrides.items()),
     )
-    if use_cache and key in _RUN_CACHE:
+    if use_cache and tracer is None and key in _RUN_CACHE:
         return _RUN_CACHE[key]
     global _PROTOCOL_RUNS
     _PROTOCOL_RUNS += 1
@@ -164,7 +170,7 @@ def run_protocol(
         restore_cache_containers=restore_cache_containers,
         **gccdf_overrides,
     )
-    service = make_service(approach, config)
+    service = make_service(approach, config, tracer=tracer)
     driver = RotationDriver(service, config.retention, dataset_name=dataset_name)
     backups = make_dataset(
         dataset_name,

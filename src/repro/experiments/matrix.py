@@ -20,6 +20,14 @@ that coin into a scheduler:
 Workers return :class:`~repro.backup.driver.RotationResult` as plain dicts
 (``to_dict``/``from_dict``), which round-trip exactly, so a ``--jobs 4``
 matrix renders byte-identical tables to a serial run.
+
+With ``trace_path`` set, every cell runs under a
+:class:`~repro.obs.tracer.TraceRecorder` (cache loads are bypassed — a
+cached result has no events to replay) and the per-cell event streams are
+merged into one JSON Lines file: cells in :func:`cells_for` enumeration
+order, each introduced by a ``cell`` header event, sequence numbers
+reassigned globally.  Because events carry only simulated time, the merged
+file is byte-identical whichever worker ran which cell.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from repro.errors import ConfigError
 from repro.experiments import ablations, common, fig02, fig11, fig12, fig13, fig14, fig15
 from repro.experiments.cache import RunCache, run_cache_key
 from repro.experiments.common import ExperimentScale, get_scale, run_protocol
+from repro.obs.tracer import TraceRecorder, Tracer, write_trace
 
 #: Where cell wall-times land unless the caller overrides it.
 DEFAULT_BENCH_PATH = "BENCH_matrix.json"
@@ -94,7 +103,7 @@ class Cell:
         suffix = f" [{' '.join(extras)}]" if extras else ""
         return f"{self.approach}/{self.dataset}@{self.scale}{suffix}"
 
-    def run(self) -> RotationResult:
+    def run(self, tracer: Tracer | None = None) -> RotationResult:
         """Execute the cell in this process (bypassing the memo)."""
         return run_protocol(
             self.approach,
@@ -103,8 +112,28 @@ class Cell:
             use_cache=False,
             vc_table=self.vc_table,
             restore_cache_containers=self.restore_cache_containers,
+            tracer=tracer,
             **dict(self.gccdf_overrides),
         )
+
+    def header_event(self, alias_of: str | None = None) -> dict:
+        """The ``cell`` header event introducing this cell's stream in a
+        merged trace (``alias_of`` marks config-dedup sharers)."""
+        fields = {
+            "label": self.label,
+            "approach": self.approach,
+            "dataset": self.dataset,
+            "scale": self.scale,
+        }
+        if alias_of is not None:
+            fields["alias_of"] = alias_of
+        return {
+            "seq": 0,  # reassigned at merge time
+            "name": "cell",
+            "sim_time": 0.0,
+            "duration": 0.0,
+            "fields": fields,
+        }
 
 
 def _grid(approaches: Sequence[str], datasets: Sequence[str], scale: str) -> list[Cell]:
@@ -179,11 +208,14 @@ def cells_for(experiments: Iterable[str], scale: str) -> tuple[Cell, ...]:
     return tuple(seen)
 
 
-def _execute_cell(cell: Cell) -> tuple[dict, float]:
-    """Worker-side entry point: run one cell, ship the result as a dict."""
+def _execute_cell(cell: Cell, trace: bool = False) -> tuple[dict, float, list[dict] | None]:
+    """Worker-side entry point: run one cell, ship the result as a dict
+    (plus the cell's event stream as dicts when tracing)."""
     started = time.perf_counter()
-    result = cell.run()
-    return result.to_dict(), time.perf_counter() - started
+    recorder = TraceRecorder() if trace else None
+    result = cell.run(tracer=recorder)
+    seconds = time.perf_counter() - started
+    return result.to_dict(), seconds, recorder.to_dicts() if recorder else None
 
 
 @dataclass(frozen=True)
@@ -274,6 +306,37 @@ class MatrixSummary:
             fh.write("\n")
 
 
+def _merged_events(
+    cells: Sequence[Cell],
+    pending: dict[str, list[Cell]],
+    key_of: dict[Cell, str],
+    events_by_key: dict[str, list[dict]],
+):
+    """Yield the merged trace stream, deterministically.
+
+    Cells appear in :func:`cells_for` enumeration order — never in worker
+    completion order — each introduced by a ``cell`` header event.  The
+    representative of a config-dedup group carries the group's events;
+    sharers get an ``alias_of`` header and no events.  Sequence numbers are
+    reassigned globally so the file reads as one dense stream.
+    """
+    seq = 0
+    for cell in cells:
+        key = key_of[cell]
+        representative = pending[key][0]
+        if cell is representative:
+            header = cell.header_event()
+        else:
+            header = cell.header_event(alias_of=representative.label)
+        header["seq"] = seq
+        seq += 1
+        yield header
+        if cell is representative:
+            for event in events_by_key.get(key, []):
+                yield {**event, "seq": seq}
+                seq += 1
+
+
 def run_matrix(
     experiments: Iterable[str],
     scale: str = "quick",
@@ -281,6 +344,7 @@ def run_matrix(
     use_cache: bool = True,
     cache_dir: str | os.PathLike | None = None,
     progress: Callable[[str], None] | None = None,
+    trace_path: str | os.PathLike | None = None,
 ) -> MatrixSummary:
     """Satisfy every cell the selected experiments need, in parallel.
 
@@ -288,8 +352,14 @@ def run_matrix(
     experiments costs no protocol runs.  ``use_cache=False`` skips the
     persistent cache entirely (both probe and store); ``jobs=1`` runs the
     misses serially in-process, with no worker pool.
+
+    ``trace_path`` writes a merged JSON Lines trace of every cell's event
+    stream.  Tracing forces every cell to execute (memo and disk-cache
+    *loads* are bypassed — cached results carry no events), but completed
+    runs are still stored, so a later untraced pass hits the cache.
     """
     spec = get_scale(scale)
+    tracing = trace_path is not None
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -315,24 +385,38 @@ def run_matrix(
     # value) share one protocol run — and therefore one cache entry, so a
     # rerun served from disk renders byte-identically to the cold pass.
     pending: dict[str, list[Cell]] = {}
+    key_of: dict[Cell, str] = {}
+    events_by_key: dict[str, list[dict]] = {}
     for cell in cells:
-        if common.memoized(cell.memo_key()) is not None:
-            outcomes[cell] = CellOutcome(cell, "memo", 0.0)
-            continue
         key = cell.cache_key(spec)
-        if cache is not None:
-            result = cache.load(key)
-            if result is not None:
-                common.hydrate(cell.memo_key(), result)
-                outcomes[cell] = CellOutcome(cell, "disk", 0.0)
-                emit(f"[cache] {cell.label}")
+        key_of[cell] = key
+        # Tracing bypasses memo and disk-cache *loads*: a cached result has
+        # no events to replay, so every cell must actually execute.
+        if not tracing:
+            if common.memoized(cell.memo_key()) is not None:
+                outcomes[cell] = CellOutcome(cell, "memo", 0.0)
                 continue
+            if cache is not None:
+                result = cache.load(key)
+                if result is not None:
+                    common.hydrate(cell.memo_key(), result)
+                    outcomes[cell] = CellOutcome(cell, "disk", 0.0)
+                    emit(f"[cache] {cell.label}")
+                    continue
         pending.setdefault(key, []).append(cell)
 
-    def finish(key: str, result: RotationResult, seconds: float, done: int) -> None:
+    def finish(
+        key: str,
+        result: RotationResult,
+        seconds: float,
+        done: int,
+        events: list[dict] | None = None,
+    ) -> None:
         representative, *sharers = pending[key]
         if cache is not None:
             cache.store(key, result)
+        if events is not None:
+            events_by_key[key] = events
         for cell in pending[key]:
             common.hydrate(cell.memo_key(), result)
         outcomes[representative] = CellOutcome(representative, "run", seconds)
@@ -344,12 +428,14 @@ def run_matrix(
     if jobs == 1 or len(pending) <= 1:
         for done, (key, group) in enumerate(pending.items(), start=1):
             started = time.perf_counter()
-            result = group[0].run()
-            finish(key, result, time.perf_counter() - started, done)
+            recorder = TraceRecorder() if tracing else None
+            result = group[0].run(tracer=recorder)
+            seconds = time.perf_counter() - started
+            finish(key, result, seconds, done, recorder.to_dicts() if recorder else None)
     elif pending:
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = {
-                pool.submit(_execute_cell, group[0]): key
+                pool.submit(_execute_cell, group[0], tracing): key
                 for key, group in pending.items()
             }
             done = 0
@@ -357,9 +443,19 @@ def run_matrix(
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    data, seconds = future.result()
+                    data, seconds, events = future.result()
                     done += 1
-                    finish(futures[future], RotationResult.from_dict(data), seconds, done)
+                    finish(
+                        futures[future],
+                        RotationResult.from_dict(data),
+                        seconds,
+                        done,
+                        events,
+                    )
+
+    if tracing:
+        written = write_trace(trace_path, _merged_events(cells, pending, key_of, events_by_key))
+        emit(f"[trace] {written} events -> {trace_path}")
 
     summary = MatrixSummary(
         scale=spec.name,

@@ -106,6 +106,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="where to write per-cell wall-times (default: %(default)s)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a merged JSONL trace of every cell's event stream "
+        "(forces all cells to execute; see docs/observability.md)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -130,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             use_cache=not args.no_cache,
             progress=progress,
+            trace_path=args.trace,
         )
     except ConfigError as exc:
         parser.error(str(exc))

@@ -42,6 +42,7 @@ class MarkSweepGC:
 
     def collect(self) -> GCReport:
         """Run one full collection and purge logically deleted recipes."""
+        tracer = self.disk.tracer
         mark_stage = MarkStage(self.config, self.index, self.recipes, self.disk)
         mark = mark_stage.run()
 
@@ -53,11 +54,47 @@ class MarkSweepGC:
             disk=self.disk,
             mark=mark,
         )
-        before_sweep = self.disk.snapshot()
-        result = self.migration.migrate(ctx)
-        sweep_delta = self.disk.snapshot().since(before_sweep)
+        with self.disk.phase("gc.sweep") as sweep:
+            result = self.migration.migrate(ctx)
+            sweep.annotate(
+                round_index=self._rounds,
+                involved_containers=len(mark.gs_list),
+                reclaimed_containers=len(result.reclaimed_ids),
+                produced_containers=len(result.produced_ids),
+                migrated_bytes=result.migrated_bytes,
+                migrated_chunks=result.migrated_chunks,
+                reclaimed_bytes=result.reclaimed_bytes,
+            )
+
+        analyze_seconds = (
+            ctx.analyze_ops
+            * self.config.gccdf.analyze_op_cost
+            / max(1, ctx.analyze_parallelism)
+        )
+        if tracer.enabled:
+            # The analyze stage is CPU work charged in simulated seconds
+            # (ops × modelled per-op cost), so it is emitted directly rather
+            # than through a disk phase.  Measured interpreter wall time
+            # (``analyze_cpu_seconds``) never enters the trace: events must
+            # stay deterministic.
+            tracer.emit(
+                "gc.analyze",
+                sim_time=self.disk.sim_time,
+                duration=analyze_seconds,
+                fields={
+                    "round_index": self._rounds,
+                    "analyze_ops": ctx.analyze_ops,
+                    "parallelism": ctx.analyze_parallelism,
+                },
+            )
 
         purged = self.recipes.purge_deleted()
+        if tracer.enabled:
+            tracer.emit(
+                "gc.purge",
+                sim_time=self.disk.sim_time,
+                fields={"round_index": self._rounds, "backups_purged": len(purged)},
+            )
 
         report = GCReport(
             round_index=self._rounds,
@@ -69,13 +106,9 @@ class MarkSweepGC:
             reclaimed_bytes=result.reclaimed_bytes,
             migrated_chunks=result.migrated_chunks,
             mark_seconds=mark.mark_seconds,
-            analyze_seconds=(
-                ctx.analyze_ops
-                * self.config.gccdf.analyze_op_cost
-                / max(1, ctx.analyze_parallelism)
-            ),
-            sweep_read_seconds=sweep_delta.read_seconds,
-            sweep_write_seconds=sweep_delta.write_seconds,
+            analyze_seconds=analyze_seconds,
+            sweep_read_seconds=sweep.delta.read_seconds,
+            sweep_write_seconds=sweep.delta.write_seconds,
             analyze_cpu_seconds=ctx.analyze_watch.elapsed,
         )
         self._rounds += 1

@@ -70,8 +70,6 @@ class MarkStage:
         self.disk = disk
 
     def run(self) -> MarkResult:
-        before = self.disk.snapshot()
-
         # The index is immutable for the duration of one mark run, and
         # chunks shared across backups recur once per referencing recipe,
         # so resolved placements are memoised for the whole traversal
@@ -84,43 +82,48 @@ class MarkStage:
         resolved_get = resolved.get
         index_lookup = self.index.lookup
 
-        # Pass 1 — deleted recipes: find containers that may hold garbage.
-        gs_set: set[int] = set()
-        candidate_keys: set[bytes] = set()
-        for recipe in self.recipes.deleted_recipes():
-            self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
-            for entry in recipe.entries:
-                if entry.fp in candidate_keys:
-                    continue
-                candidate_keys.add(entry.fp)
-                placement = resolved[entry.fp] = index_lookup(entry.fp)
-                if placement is not None:
-                    gs_set.add(placement.container_id)
+        with self.disk.phase("gc.mark") as ph:
+            # Pass 1 — deleted recipes: find containers that may hold garbage.
+            gs_set: set[int] = set()
+            candidate_keys: set[bytes] = set()
+            for recipe in self.recipes.deleted_recipes():
+                self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
+                for entry in recipe.entries:
+                    if entry.fp in candidate_keys:
+                        continue
+                    candidate_keys.add(entry.fp)
+                    placement = resolved[entry.fp] = index_lookup(entry.fp)
+                    if placement is not None:
+                        gs_set.add(placement.container_id)
 
-        # Pass 2 — live recipes: VC table and RRT in a single traversal.
-        vc_table = make_vc_table(self.config.vc_table, expected_keys=len(self.index))
-        rrt_sets: dict[int, set[int]] = {container_id: set() for container_id in gs_set}
-        for recipe in self.recipes.live_recipes():
-            self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
-            seen_containers: set[int] = set()
-            for entry in recipe.entries:
-                fp = entry.fp
-                vc_table.add(fp)
-                placement = resolved_get(fp, missing)
-                if placement is missing:
-                    placement = resolved[fp] = index_lookup(fp)
-                if placement is None:
-                    continue
-                container_id = placement.container_id
-                if container_id in rrt_sets and container_id not in seen_containers:
-                    seen_containers.add(container_id)
-                    rrt_sets[container_id].add(recipe.backup_id)
+            # Pass 2 — live recipes: VC table and RRT in a single traversal.
+            vc_table = make_vc_table(self.config.vc_table, expected_keys=len(self.index))
+            rrt_sets: dict[int, set[int]] = {container_id: set() for container_id in gs_set}
+            for recipe in self.recipes.live_recipes():
+                self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
+                seen_containers: set[int] = set()
+                for entry in recipe.entries:
+                    fp = entry.fp
+                    vc_table.add(fp)
+                    placement = resolved_get(fp, missing)
+                    if placement is missing:
+                        placement = resolved[fp] = index_lookup(fp)
+                    if placement is None:
+                        continue
+                    container_id = placement.container_id
+                    if container_id in rrt_sets and container_id not in seen_containers:
+                        seen_containers.add(container_id)
+                        rrt_sets[container_id].add(recipe.backup_id)
 
-        delta = self.disk.snapshot().since(before)
+            ph.annotate(
+                candidate_keys=len(candidate_keys),
+                gs_containers=len(gs_set),
+            )
+
         return MarkResult(
             vc_table=vc_table,
             gs_list=tuple(sorted(gs_set)),
             rrt={cid: tuple(sorted(backups)) for cid, backups in rrt_sets.items()},
             candidate_keys=len(candidate_keys),
-            mark_seconds=delta.read_seconds,
+            mark_seconds=ph.delta.read_seconds,
         )

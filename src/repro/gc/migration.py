@@ -123,6 +123,17 @@ def reclaim_container(
     ctx.store.delete_container(container_id)
     result.reclaimed_ids.append(container_id)
     result.reclaimed_bytes += invalid_bytes
+    tracer = ctx.disk.tracer
+    if tracer.enabled:
+        tracer.emit(
+            "gc.reclaim",
+            sim_time=ctx.disk.sim_time,
+            fields={
+                "container_id": container_id,
+                "valid_chunks": len(valid),
+                "invalid_bytes": invalid_bytes,
+            },
+        )
 
 
 class NaiveMigration:

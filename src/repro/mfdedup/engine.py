@@ -19,13 +19,14 @@ volume layout:
 
 from __future__ import annotations
 
-from repro.backup.service import BackupService, ChunkStream
+from repro.backup.service import BackupService, ChunkStream, ServiceStats
 from repro.config import SystemConfig
 from repro.dedup.pipeline import IngestResult
 from repro.gc.report import GCReport
 from repro.index.recipe import Recipe, RecipeStore
 from repro.mfdedup.volumes import VolumeStore
 from repro.model import Chunk, ChunkRef
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.restore.report import RestoreReport
 from repro.simio.disk import DiskModel
 
@@ -35,10 +36,12 @@ class MFDedupService(BackupService):
 
     name = "mfdedup"
 
-    def __init__(self, config: SystemConfig | None = None):
+    def __init__(self, config: SystemConfig | None = None, tracer: Tracer | None = None):
         self.config = config or SystemConfig.scaled()
         self.config.validate()
-        self.disk = DiskModel(self.config.disk)
+        # Explicit None test: an empty TraceRecorder is falsy (len == 0).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.disk = DiskModel(self.config.disk, tracer=self.tracer)
         self.volumes = VolumeStore(self.disk)
         self.recipes = RecipeStore()
         #: fp → size map of the immediately preceding backup.
@@ -62,32 +65,39 @@ class MFDedupService(BackupService):
         stored_bytes = 0
         dedup_bytes = 0
 
-        # Classify the stream: neighbor duplicates vs fresh chunks.
-        for item in stream:
-            ref = item.ref if isinstance(item, Chunk) else item
-            logical_bytes += ref.size
-            entries.append(ChunkRef(fp=ref.fp, size=ref.size))
-            if ref.fp in current:
-                dedup_bytes += ref.size  # intra-backup duplicate
-                continue
-            current[ref.fp] = ref.size
-            if ref.fp in self._previous:
-                dedup_bytes += ref.size  # neighbor duplicate: will migrate
-            else:
-                stored_bytes += ref.size
+        with self.disk.phase("ingest") as ph:
+            # Classify the stream: neighbor duplicates vs fresh chunks.
+            for item in stream:
+                ref = item.ref if isinstance(item, Chunk) else item
+                logical_bytes += ref.size
+                entries.append(ChunkRef(fp=ref.fp, size=ref.size))
+                if ref.fp in current:
+                    dedup_bytes += ref.size  # intra-backup duplicate
+                    continue
+                current[ref.fp] = ref.size
+                if ref.fp in self._previous:
+                    dedup_bytes += ref.size  # neighbor duplicate: will migrate
+                else:
+                    stored_bytes += ref.size
 
-        # Migrate forward the predecessor's still-shared chunks.
-        if self._previous_id is not None:
-            for volume in self.volumes.volumes_ending_at(self._previous_id):
-                shared = [ref for ref in volume.chunks if ref.fp in current]
-                if shared:
-                    destination = self.volumes.get_or_create(volume.first, backup_id)
-                    self.volumes.migrate(volume, destination, shared)
+            # Migrate forward the predecessor's still-shared chunks.
+            if self._previous_id is not None:
+                for volume in self.volumes.volumes_ending_at(self._previous_id):
+                    shared = [ref for ref in volume.chunks if ref.fp in current]
+                    if shared:
+                        destination = self.volumes.get_or_create(volume.first, backup_id)
+                        self.volumes.migrate(volume, destination, shared)
 
-        # Store fresh chunks in Vol(n, n).
-        for fp, size in current.items():
-            if fp not in self._previous:
-                self.volumes.write_chunk(backup_id, backup_id, ChunkRef(fp=fp, size=size))
+            # Store fresh chunks in Vol(n, n).
+            for fp, size in current.items():
+                if fp not in self._previous:
+                    self.volumes.write_chunk(backup_id, backup_id, ChunkRef(fp=fp, size=size))
+            ph.annotate(
+                backup_id=backup_id,
+                logical_bytes=logical_bytes,
+                stored_bytes=stored_bytes,
+                dedup_bytes=dedup_bytes,
+            )
 
         recipe = Recipe(backup_id=backup_id, entries=tuple(entries), source=source)
         self.recipes.add(recipe)
@@ -117,13 +127,24 @@ class MFDedupService(BackupService):
 
     def run_gc(self) -> GCReport:
         """Deletion-only GC: drop volumes older than the oldest live backup."""
-        purged = self.recipes.purge_deleted()
-        live = self.recipes.live_ids()
-        oldest_live = live[0] if live else (self._next_unseen_id())
-        volumes_dropped, bytes_dropped = self.volumes.drop_expired(oldest_live)
-        # Unlinking a volume is a metadata write (no data copying).
-        for _ in range(volumes_dropped):
-            self.disk.write(4096)
+        with self.disk.phase("gc.purge") as ph:
+            purged = self.recipes.purge_deleted()
+            live = self.recipes.live_ids()
+            oldest_live = live[0] if live else (self._next_unseen_id())
+            volumes_dropped, bytes_dropped = self.volumes.drop_expired(oldest_live)
+            # Unlinking a volume is a metadata write (no data copying).
+            for _ in range(volumes_dropped):
+                self.disk.write(4096)
+            ph.annotate(
+                backups_purged=len(purged),
+                volumes_dropped=volumes_dropped,
+                bytes_dropped=bytes_dropped,
+                # The Fig. 14 accounting (seek-only metadata unlinks): the
+                # phase's io delta also carries the transfer term, so the
+                # report quantity must travel explicitly for the trace to
+                # reproduce the figure.
+                sweep_write_seconds=volumes_dropped * self.config.disk.seek_time,
+            )
         # Fig. 13 comparability: express processed bytes in container units.
         container_equivalents = -(-bytes_dropped // self.config.container_size)
         report = GCReport(
@@ -153,23 +174,23 @@ class MFDedupService(BackupService):
 
     def restore(self, backup_id: int) -> RestoreReport:
         recipe = self.recipes.get(backup_id)
-        before = self.disk.snapshot()
-        covering = self.volumes.volumes_covering(backup_id)
-        # MFDedup lays covering volumes out adjacently in lifecycle order, so
-        # a restore is one sequential scan — charge a single positioned read
-        # rather than a seek per volume (which would be a scale artifact of
-        # our shrunken geometry).
-        total_bytes = sum(volume.size_bytes for volume in covering)
-        if covering:
-            self.disk.read(total_bytes)
-        delta = self.disk.snapshot().since(before)
+        with self.disk.phase("restore") as ph:
+            covering = self.volumes.volumes_covering(backup_id)
+            # MFDedup lays covering volumes out adjacently in lifecycle
+            # order, so a restore is one sequential scan — charge a single
+            # positioned read rather than a seek per volume (which would be
+            # a scale artifact of our shrunken geometry).
+            total_bytes = sum(volume.size_bytes for volume in covering)
+            if covering:
+                self.disk.read(total_bytes)
+            ph.annotate(backup_id=backup_id, volumes_read=len(covering))
         return RestoreReport(
             backup_id=backup_id,
             logical_bytes=recipe.logical_size,
             num_chunks=recipe.num_chunks,
             containers_read=len(covering),
-            container_bytes_read=delta.read_bytes,
-            read_seconds=delta.read_seconds,
+            container_bytes_read=ph.delta.read_bytes,
+            read_seconds=ph.delta.read_seconds,
             cache_hits=0,
         )
 
@@ -180,17 +201,12 @@ class MFDedupService(BackupService):
     def live_backup_ids(self) -> list[int]:
         return self.recipes.live_ids()
 
-    @property
-    def cumulative_logical_bytes(self) -> int:
-        return self._cumulative_logical
-
-    @property
-    def cumulative_stored_bytes(self) -> int:
-        return self._cumulative_stored
-
-    @property
-    def physical_bytes(self) -> int:
-        return self.volumes.stored_bytes
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            cumulative_logical_bytes=self._cumulative_logical,
+            cumulative_stored_bytes=self._cumulative_stored,
+            physical_bytes=self.volumes.stored_bytes,
+        )
 
     @property
     def migrated_bytes(self) -> int:

@@ -1,0 +1,47 @@
+"""Structured observability: trace events and phase-scoped metrics.
+
+The paper's evaluation (Figs. 11–15) is entirely about *attributing* I/O
+and simulated time to phases — mark, analyze, sweep, restore.  This package
+makes that attribution first-class instead of ad hoc:
+
+* :class:`Tracer` / :class:`TraceRecorder` — typed span and point events
+  (``ingest``, ``gc.mark``, ``gc.analyze``, ``gc.sweep``, ``gc.purge``,
+  ``restore``, ``container.read``, ``container.write``) carrying monotonic
+  *simulated* time, phase-diffed :class:`~repro.simio.stats.IOStats`
+  payloads and counters.  Events are deterministic: same seed + config
+  produces a byte-identical stream regardless of worker count or wall
+  clock, because nothing wall-clock-derived is ever recorded.
+* :class:`NullTracer` — the default everywhere; every instrumentation
+  point is guarded by ``tracer.enabled`` so the disabled overhead is a
+  single attribute check on container-granular (not chunk-granular)
+  operations.
+* :class:`MetricsRegistry` — counters and histograms aggregated per run,
+  serializable to JSON next to ``BENCH_matrix.json``; every
+  :class:`~repro.backup.driver.RotationResult` carries one as its
+  ``metrics`` payload.
+* :mod:`repro.obs.report` — rebuilds the Fig. 14 per-stage GC breakdown
+  from an emitted trace file alone (``python -m repro.obs.report``).
+"""
+
+from repro.obs.metrics import MetricsRegistry, rotation_metrics
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    TraceRecorder,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "TraceRecorder",
+    "read_trace",
+    "rotation_metrics",
+    "write_trace",
+]

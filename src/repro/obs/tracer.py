@@ -1,0 +1,207 @@
+"""Typed trace events and the tracers that emit them.
+
+Every instrumented component in the library routes its events through a
+:class:`Tracer`.  The default is :data:`NULL_TRACER`, whose ``enabled``
+flag is ``False`` — instrumentation sites guard on that flag, so a run
+without tracing pays one attribute check per *container-granular*
+operation and allocates nothing.
+
+Events are **deterministic by construction**: they carry monotonic
+simulated seconds (from the :class:`~repro.simio.disk.DiskModel`), counter
+payloads, and phase-diffed :class:`~repro.simio.stats.IOStats` — never
+wall-clock time, memory addresses, or anything else that varies between
+identical runs.  That is what lets a ``--jobs 4`` matrix merge worker
+traces into a byte-identical file to a ``--jobs 1`` run.
+
+The on-disk format is JSON Lines: one event per line, keys sorted,
+compact separators.  :func:`write_trace` / :func:`read_trace` are the only
+serialization points, so the byte-level guarantee lives in one place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+#: Span names used by the built-in instrumentation (one place to grep).
+SPAN_NAMES = (
+    "ingest",
+    "gc.mark",
+    "gc.analyze",
+    "gc.sweep",
+    "gc.purge",
+    "restore",
+)
+
+#: Point-event names emitted by the storage layer.
+POINT_NAMES = (
+    "container.read",
+    "container.write",
+    "cache.evict",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event: a span (``duration > 0`` possible) or a point.
+
+    ``sim_time`` is the simulated-seconds reading of the emitting device at
+    the *start* of the span (for point events, at the instant of emission);
+    ``duration`` is the span's simulated seconds; ``io`` is the span's
+    phase-diffed I/O counters (``IOStats.to_dict()``), ``None`` for point
+    events; ``fields`` holds event-specific counters.
+    """
+
+    seq: int
+    name: str
+    sim_time: float
+    duration: float = 0.0
+    io: dict | None = None
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-scalar dict; round-trips exactly through JSON."""
+        data: dict = {
+            "seq": self.seq,
+            "name": self.name,
+            "sim_time": self.sim_time,
+            "duration": self.duration,
+            "fields": dict(self.fields),
+        }
+        if self.io is not None:
+            data["io"] = dict(self.io)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TraceEvent":
+        return cls(
+            seq=data["seq"],
+            name=data["name"],
+            sim_time=data["sim_time"],
+            duration=data.get("duration", 0.0),
+            io=dict(data["io"]) if data.get("io") is not None else None,
+            fields=dict(data.get("fields", {})),
+        )
+
+
+class Tracer:
+    """The tracer interface (and a convenient no-op-free base).
+
+    Instrumentation sites call :meth:`emit` only after checking
+    :attr:`enabled`, so subclasses never see events they did not ask for::
+
+        if tracer.enabled:
+            tracer.emit("container.read", sim_time=t, fields={"bytes": n})
+    """
+
+    #: Whether instrumentation sites should emit at all.  The null tracer
+    #: sets this ``False``; everything hot checks it and nothing more.
+    enabled: bool = True
+
+    def emit(
+        self,
+        name: str,
+        sim_time: float,
+        duration: float = 0.0,
+        io: dict | None = None,
+        fields: dict | None = None,
+    ) -> None:
+        """Record one event.  Subclasses decide what 'record' means."""
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """The default tracer: disabled, allocation-free, and silent.
+
+    ``emit`` is still safe to call (it does nothing), so code that has
+    already paid for its payload may emit unconditionally; hot paths should
+    guard on :attr:`enabled` instead.
+    """
+
+    enabled = False
+
+    def emit(
+        self,
+        name: str,
+        sim_time: float,
+        duration: float = 0.0,
+        io: dict | None = None,
+        fields: dict | None = None,
+    ) -> None:
+        return None
+
+
+#: Shared disabled tracer; components default to this instance so the
+#: "is tracing on?" check never needs a None test.
+NULL_TRACER = NullTracer()
+
+
+class TraceRecorder(Tracer):
+    """Collects events in memory, in emission order, with dense sequence ids.
+
+    Optionally feeds a :class:`~repro.obs.metrics.MetricsRegistry` as events
+    arrive: every event counts ``events.<name>``; spans additionally observe
+    their simulated duration in the ``span_seconds.<name>`` histogram.
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: "MetricsRegistry | None" = None):
+        self.events: list[TraceEvent] = []
+        self.metrics = metrics
+
+    def emit(
+        self,
+        name: str,
+        sim_time: float,
+        duration: float = 0.0,
+        io: dict | None = None,
+        fields: dict | None = None,
+    ) -> None:
+        event = TraceEvent(
+            seq=len(self.events),
+            name=name,
+            sim_time=sim_time,
+            duration=duration,
+            io=io,
+            fields=dict(fields) if fields else {},
+        )
+        self.events.append(event)
+        if self.metrics is not None:
+            self.metrics.count(f"events.{name}")
+            if io is not None:
+                self.metrics.observe(f"span_seconds.{name}", duration)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_dicts(self) -> list[dict]:
+        """Events as plain dicts (what workers ship across the pool)."""
+        return [event.to_dict() for event in self.events]
+
+
+def event_line(data: Mapping) -> str:
+    """Canonical single-line JSON for one event dict (byte-deterministic)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def write_trace(path: str | os.PathLike, events: Iterable[Mapping]) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for data in events:
+            fh.write(event_line(data))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str | os.PathLike) -> Iterator[dict]:
+    """Yield event dicts from a JSON Lines trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

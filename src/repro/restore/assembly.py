@@ -49,39 +49,39 @@ class AssemblyRestoreEngine:
     def restore(self, backup_id: int) -> RestoreReport:
         """Restore one backup; returns container-read accounting."""
         recipe = self.recipes.get(backup_id)
-        before = self.disk.snapshot()
         container_reads = 0
 
-        position = 0
-        entries = recipe.entries
-        while position < len(entries):
-            # Build one assembly span: the longest prefix fitting the area.
-            span_bytes = 0
-            end = position
-            while end < len(entries):
-                size = entries[end].size
-                if span_bytes + size > self.assembly_bytes and end > position:
-                    break
-                span_bytes += size
-                end += 1
+        with self.disk.phase("restore") as ph:
+            position = 0
+            entries = recipe.entries
+            while position < len(entries):
+                # Build one assembly span: the longest prefix fitting the area.
+                span_bytes = 0
+                end = position
+                while end < len(entries):
+                    size = entries[end].size
+                    if span_bytes + size > self.assembly_bytes and end > position:
+                        break
+                    span_bytes += size
+                    end += 1
 
-            # One read per distinct container used within the span.
-            needed: set[int] = set()
-            for entry in entries[position:end]:
-                needed.add(self.index.get(entry.fp).container_id)
-            for container_id in sorted(needed):
-                self.store.read_container(container_id)
-                container_reads += 1
+                # One read per distinct container used within the span.
+                needed: set[int] = set()
+                for entry in entries[position:end]:
+                    needed.add(self.index.get(entry.fp).container_id)
+                for container_id in sorted(needed):
+                    self.store.read_container(container_id)
+                    container_reads += 1
 
-            position = end
+                position = end
+            ph.annotate(backup_id=backup_id, containers_read=container_reads)
 
-        delta = self.disk.snapshot().since(before)
         return RestoreReport(
             backup_id=backup_id,
             logical_bytes=recipe.logical_size,
             num_chunks=recipe.num_chunks,
             containers_read=container_reads,
-            container_bytes_read=delta.read_bytes,
-            read_seconds=delta.read_seconds,
+            container_bytes_read=ph.delta.read_bytes,
+            read_seconds=ph.delta.read_seconds,
             cache_hits=0,
         )

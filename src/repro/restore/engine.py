@@ -61,35 +61,40 @@ class RestoreEngine:
     def _run(self, backup_id: int, collect_data: bool) -> tuple[RestoreReport, bytes | None]:
         recipe = self.recipes.get(backup_id)
         cache = ContainerCache(self.store, self.cache_containers)
-        before = self.disk.snapshot()
         pieces: list[bytes] = [] if collect_data else None  # type: ignore[assignment]
 
-        for entry in recipe.entries:
-            placement = self.index.get(entry.fp)
-            container = cache.get(placement.container_id)
-            if collect_data:
-                payload = container.payload(entry.fp)
-                if payload is None:
-                    raise IntegrityError(
-                        f"container {container.container_id} holds no payload for a "
-                        f"chunk of backup {backup_id} (trace-level data cannot be "
-                        "restored to bytes)"
-                    )
-                if len(payload) != entry.size:
-                    raise IntegrityError(
-                        f"payload size mismatch for backup {backup_id}: "
-                        f"expected {entry.size}, got {len(payload)}"
-                    )
-                pieces.append(payload)
+        with self.disk.phase("restore") as ph:
+            for entry in recipe.entries:
+                placement = self.index.get(entry.fp)
+                container = cache.get(placement.container_id)
+                if collect_data:
+                    payload = container.payload(entry.fp)
+                    if payload is None:
+                        raise IntegrityError(
+                            f"container {container.container_id} holds no payload for a "
+                            f"chunk of backup {backup_id} (trace-level data cannot be "
+                            "restored to bytes)"
+                        )
+                    if len(payload) != entry.size:
+                        raise IntegrityError(
+                            f"payload size mismatch for backup {backup_id}: "
+                            f"expected {entry.size}, got {len(payload)}"
+                        )
+                    pieces.append(payload)
+            ph.annotate(
+                backup_id=backup_id,
+                containers_read=cache.misses,
+                cache_hits=cache.hits,
+                logical_bytes=recipe.logical_size,
+            )
 
-        delta = self.disk.snapshot().since(before)
         report = RestoreReport(
             backup_id=backup_id,
             logical_bytes=recipe.logical_size,
             num_chunks=recipe.num_chunks,
             containers_read=cache.misses,
-            container_bytes_read=delta.read_bytes,
-            read_seconds=delta.read_seconds,
+            container_bytes_read=ph.delta.read_bytes,
+            read_seconds=ph.delta.read_seconds,
             cache_hits=cache.hits,
         )
         return report, (b"".join(pieces) if collect_data else None)

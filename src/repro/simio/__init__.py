@@ -8,7 +8,7 @@ the accumulated simulated time, exactly as the paper computes them from
 wall-clock time on real SSDs.
 """
 
-from repro.simio.disk import DiskModel
+from repro.simio.disk import DiskModel, PhaseScope
 from repro.simio.stats import IOStats
 
-__all__ = ["DiskModel", "IOStats"]
+__all__ = ["DiskModel", "IOStats", "PhaseScope"]

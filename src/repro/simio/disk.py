@@ -12,21 +12,82 @@ bus, which is precisely what the model charges for.  Restoration speed,
 sweep-read and sweep-write time in the experiments are all derived from
 simulated seconds accumulated here, which preserves the paper's comparisons
 (every approach pays under the same tariff) without real hardware.
+
+Phase attribution goes through :meth:`DiskModel.phase`: the context manager
+snapshots the counters on entry, exposes the diffed delta on exit, and —
+when a :class:`~repro.obs.tracer.Tracer` is attached — emits one span event
+per phase with the delta as its I/O payload.  The hand-rolled
+``snapshot()``/``since()`` pairing it replaces is deprecated.
 """
 
 from __future__ import annotations
 
 from repro.config import DiskConfig
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simio.stats import IOStats
+
+
+class PhaseScope:
+    """One phase of I/O accounting on a :class:`DiskModel`.
+
+    Usable only as a context manager; after the ``with`` block exits,
+    :attr:`delta` holds the phase's :class:`IOStats` and the span event has
+    been emitted (if the disk's tracer is enabled).  :meth:`annotate` adds
+    counter fields to the event from inside the block::
+
+        with disk.phase("restore") as ph:
+            ...
+            ph.annotate(backup_id=backup_id)
+        seconds = ph.delta.read_seconds
+    """
+
+    __slots__ = ("name", "_disk", "_before", "_start", "delta", "fields")
+
+    def __init__(self, disk: "DiskModel", name: str):
+        self.name = name
+        self._disk = disk
+        self._before: IOStats | None = None
+        self._start = 0.0
+        self.delta: IOStats | None = None
+        self.fields: dict | None = None
+
+    def annotate(self, **fields) -> None:
+        """Attach counter fields to the span event (no-op when disabled)."""
+        if self._disk.tracer.enabled:
+            if self.fields is None:
+                self.fields = {}
+            self.fields.update(fields)
+
+    def __enter__(self) -> "PhaseScope":
+        self._before = self._disk.stats.snapshot()
+        self._start = self._before.total_seconds
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._before is not None, "phase scope entered twice or never"
+        self.delta = self._disk.stats.diff(self._before)
+        self._before = None
+        tracer = self._disk.tracer
+        if tracer.enabled and exc_type is None:
+            tracer.emit(
+                self.name,
+                sim_time=self._start,
+                duration=self.delta.total_seconds,
+                io=self.delta.to_dict(),
+                fields=self.fields,
+            )
+        return False
 
 
 class DiskModel:
     """Charges simulated time for reads/writes and keeps :class:`IOStats`."""
 
-    def __init__(self, config: DiskConfig | None = None):
+    def __init__(self, config: DiskConfig | None = None, tracer: Tracer | None = None):
         self.config = config or DiskConfig()
         self.config.validate()
         self.stats = IOStats()
+        # Explicit None test: an empty TraceRecorder is falsy (len == 0).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _cost(self, nbytes: int) -> float:
         return self.config.seek_time + nbytes / self.config.bandwidth
@@ -51,6 +112,17 @@ class DiskModel:
         self.stats.write_seconds += cost
         return cost
 
+    @property
+    def sim_time(self) -> float:
+        """Monotonic simulated seconds accumulated on this device."""
+        return self.stats.total_seconds
+
+    def phase(self, name: str) -> PhaseScope:
+        """Open a named accounting phase (see :class:`PhaseScope`)."""
+        return PhaseScope(self, name)
+
     def snapshot(self) -> IOStats:
-        """Snapshot current counters (pair with :meth:`IOStats.since`)."""
+        """Deprecated: snapshot counters by hand (pair with
+        :meth:`IOStats.diff`).  Prefer :meth:`phase`, which cannot be
+        mis-paired and feeds the tracer."""
         return self.stats.snapshot()

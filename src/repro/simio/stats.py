@@ -2,8 +2,9 @@
 
 :class:`IOStats` is a plain accumulator: reads/writes, bytes moved, and the
 simulated seconds those operations cost under the :class:`~repro.simio.disk.
-DiskModel`.  Components snapshot and diff these counters to attribute I/O to
-phases (restore, sweep-read, sweep-write, ...).
+DiskModel`.  Phase attribution uses :meth:`IOStats.diff` — preferably via
+the :meth:`repro.simio.disk.DiskModel.phase` context manager, which
+snapshots and diffs for you (and reports the phase to the attached tracer).
 """
 
 from __future__ import annotations
@@ -41,16 +42,26 @@ class IOStats:
             write_seconds=self.write_seconds,
         )
 
-    def since(self, earlier: "IOStats") -> "IOStats":
-        """Counters accumulated after ``earlier`` was snapshotted."""
+    def diff(self, other: "IOStats") -> "IOStats":
+        """Counters accumulated since ``other`` was snapshotted.
+
+        The primitive behind phase attribution.  Prefer
+        :meth:`repro.simio.disk.DiskModel.phase` over calling this by hand —
+        the context manager owns the snapshot pairing and emits the phase to
+        the tracer.
+        """
         return IOStats(
-            read_ops=self.read_ops - earlier.read_ops,
-            read_bytes=self.read_bytes - earlier.read_bytes,
-            write_ops=self.write_ops - earlier.write_ops,
-            write_bytes=self.write_bytes - earlier.write_bytes,
-            read_seconds=self.read_seconds - earlier.read_seconds,
-            write_seconds=self.write_seconds - earlier.write_seconds,
+            read_ops=self.read_ops - other.read_ops,
+            read_bytes=self.read_bytes - other.read_bytes,
+            write_ops=self.write_ops - other.write_ops,
+            write_bytes=self.write_bytes - other.write_bytes,
+            read_seconds=self.read_seconds - other.read_seconds,
+            write_seconds=self.write_seconds - other.write_seconds,
         )
+
+    def since(self, earlier: "IOStats") -> "IOStats":
+        """Deprecated alias of :meth:`diff` (kept for old call sites)."""
+        return self.diff(earlier)
 
     def merge(self, other: "IOStats") -> None:
         """Add another accumulator's counters into this one."""
@@ -60,3 +71,14 @@ class IOStats:
         self.write_bytes += other.write_bytes
         self.read_seconds += other.read_seconds
         self.write_seconds += other.write_seconds
+
+    def to_dict(self) -> dict:
+        """Plain-scalar dict (trace-event ``io`` payloads, JSON-exact)."""
+        return {
+            "read_ops": self.read_ops,
+            "read_bytes": self.read_bytes,
+            "write_ops": self.write_ops,
+            "write_bytes": self.write_bytes,
+            "read_seconds": self.read_seconds,
+            "write_seconds": self.write_seconds,
+        }

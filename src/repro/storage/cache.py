@@ -49,7 +49,17 @@ class ContainerCache:
         container = self.store.read_container(container_id)
         self._entries[container_id] = container
         if self.capacity is not None and len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted_id, _ = self._entries.popitem(last=False)
+            tracer = self.store.disk.tracer
+            if tracer.enabled:
+                # Evictions are the scarce, diagnostic event of a bounded
+                # restore cache (a thrashing backup shows up here, not in
+                # per-chunk hit counters, which stay in RestoreReport).
+                tracer.emit(
+                    "cache.evict",
+                    sim_time=self.store.disk.sim_time,
+                    fields={"container_id": evicted_id, "for_container": container_id},
+                )
         return container
 
     def invalidate(self, container_id: int) -> None:

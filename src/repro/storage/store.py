@@ -9,6 +9,11 @@ rules, both from the container-based layouts the paper builds on:
   mechanism of read amplification.
 * **Containers are immutable.**  There is no partial overwrite; space comes
   back only via :meth:`delete_container` after GC copies valid chunks away.
+
+Every durable container operation emits a ``container.read`` /
+``container.write`` / ``container.delete`` trace event through the disk's
+tracer (guarded by ``tracer.enabled``, so the default null tracer costs one
+attribute check per container — not per chunk).
 """
 
 from __future__ import annotations
@@ -46,6 +51,17 @@ class ContainerStore:
         self._containers[container.container_id] = container
         self.disk.write(container.used_bytes)
         self.containers_written += 1
+        tracer = self.disk.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "container.write",
+                sim_time=self.disk.sim_time,
+                fields={
+                    "container_id": container.container_id,
+                    "bytes": container.used_bytes,
+                    "chunks": len(container.entries),
+                },
+            )
 
     def read_container(self, container_id: int) -> Container:
         """Fetch a container from disk, charging a full-container read."""
@@ -53,6 +69,13 @@ class ContainerStore:
         if container is None:
             raise UnknownContainerError(f"container {container_id} not in store")
         self.disk.read(container.used_bytes)
+        tracer = self.disk.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "container.read",
+                sim_time=self.disk.sim_time,
+                fields={"container_id": container_id, "bytes": container.used_bytes},
+            )
         return container
 
     def peek(self, container_id: int) -> Container:
@@ -74,6 +97,13 @@ class ContainerStore:
             raise UnknownContainerError(f"container {container_id} not in store")
         del self._containers[container_id]
         self.containers_deleted += 1
+        tracer = self.disk.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "container.delete",
+                sim_time=self.disk.sim_time,
+                fields={"container_id": container_id},
+            )
 
     def __contains__(self, container_id: int) -> bool:
         return container_id in self._containers

@@ -4,6 +4,11 @@ Chunks surviving dedup (and chunks migrated by GC) are appended to an open
 container; when the next chunk would overflow, the container is sealed,
 committed to the store, and a fresh one is opened.  The writer reports each
 chunk's placement so callers can update the fingerprint index.
+
+Observability: sealing a container through :meth:`ContainerStore.commit`
+emits a ``container.write`` trace event (when the store's disk has an
+enabled tracer), so the writer itself stays tracer-free — every durable
+write is already visible at the store boundary.
 """
 
 from __future__ import annotations
