@@ -19,7 +19,9 @@ Public surface: configuration (:class:`SystemConfig`), the approach factory
 dataset presets (:func:`dataset`), the evaluation driver
 (:class:`RotationDriver`), the observability layer (:class:`Tracer` /
 :class:`TraceRecorder` / :class:`MetricsRegistry`, see
-``docs/observability.md``), and the underlying building blocks re-exported
+``docs/observability.md``), the crash-consistency layer (:class:`FaultPlan`
+/ :func:`recover_service` / :func:`verify_service`, see
+``docs/fault-model.md``), and the underlying building blocks re-exported
 from their subpackages for library users who compose their own systems.
 ``__all__`` below is the stable surface; anything else is internal.
 """
@@ -42,7 +44,16 @@ from repro.backup import (
     make_service,
 )
 from repro.backup.driver import BackupSpec
+from repro.backup.verify import verify_service
 from repro.core import GCCDFMigration
+from repro.errors import SimulatedCrash
+from repro.faults import (
+    CRASH_POINTS,
+    FaultPlan,
+    RecoveryReport,
+    points_for,
+    recover_service,
+)
 from repro.gc import MarkSweepGC, NaiveMigration
 from repro.mfdedup import MFDedupService
 from repro.obs import (
@@ -76,6 +87,13 @@ __all__ = [
     "RotationResult",
     "BackupSpec",
     "make_service",
+    "verify_service",
+    "CRASH_POINTS",
+    "FaultPlan",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "points_for",
+    "recover_service",
     "GCCDFMigration",
     "MarkSweepGC",
     "NaiveMigration",

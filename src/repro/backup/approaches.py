@@ -20,6 +20,7 @@ from repro.backup.system import DedupBackupService
 from repro.config import SystemConfig
 from repro.core.gccdf import GCCDFMigration
 from repro.dedup.rewriting import make_rewriting
+from repro.faults.plan import FaultPlan
 from repro.gc.migration import NaiveMigration
 from repro.mfdedup.engine import MFDedupService
 from repro.obs.tracer import Tracer
@@ -33,6 +34,7 @@ def make_service(
     config: SystemConfig | None = None,
     seed: int = 0,
     tracer: Tracer | None = None,
+    faults: FaultPlan | None = None,
     **policy_kwargs,
 ) -> BackupService:
     """Build a backup service for one approach.
@@ -41,9 +43,25 @@ def make_service(
     ``cap=20`` for capping, ``utilization_threshold=0.5`` for HAR).
     ``tracer`` attaches a :class:`~repro.obs.tracer.Tracer` to the
     service's simulated disk; the default is the null tracer (no events,
-    unmeasurable overhead).
+    unmeasurable overhead).  ``faults`` arms a
+    :class:`~repro.faults.FaultPlan` on the service's disk — the run then
+    raises :class:`~repro.errors.SimulatedCrash` at the armed point, after
+    which ``service.recover()`` repairs the system.
     """
     config = config or SystemConfig.scaled()
+    service = _build_service(approach, config, seed, tracer, **policy_kwargs)
+    if faults is not None:
+        service.disk.faults = faults
+    return service
+
+
+def _build_service(
+    approach: str,
+    config: SystemConfig,
+    seed: int,
+    tracer: Tracer | None,
+    **policy_kwargs,
+) -> BackupService:
     if approach == "mfdedup":
         return MFDedupService(config=config, tracer=tracer)
     if approach == "nondedup":

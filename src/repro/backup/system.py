@@ -107,6 +107,14 @@ class DedupBackupService(BackupService):
         """Byte-level restore (requires payload-carrying ingest)."""
         return self.restorer.restore_bytes(backup_id)
 
+    def recover(self):
+        """Repair after a :class:`~repro.errors.SimulatedCrash` by rolling
+        the store's incomplete journal intents back or forward; returns a
+        :class:`~repro.faults.RecoveryReport`."""
+        from repro.faults.recovery import recover
+
+        return recover(self.store, self.index, self.recipes)
+
     def live_backup_ids(self) -> list[int]:
         return self.recipes.live_ids()
 

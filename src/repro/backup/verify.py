@@ -19,6 +19,13 @@ Checked invariants:
    nor any live recipe knows (garbage the last GC should have reclaimed is
    reported as a *warning*, since it may legitimately await the next GC).
 
+:func:`verify_mfdedup` audits the volume layout the same way (volume size
+accounting, intra-volume key uniqueness, lifecycle-range sanity, and every
+live recipe restorable from its covering volumes); :func:`verify_service`
+dispatches on the service's storage layout.  The fault-injection suite
+leans on these: after any injected crash, ``recover → verify`` must come
+back with zero errors.
+
 The property-based suite runs this after every generated operation
 sequence; operators can call it after any GC as a cheap audit.
 """
@@ -27,6 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backup.service import BackupService
 from repro.backup.system import DedupBackupService
 from repro.errors import IntegrityError, UnknownChunkError, UnknownContainerError
 
@@ -148,9 +156,85 @@ def verify_system(service: DedupBackupService) -> VerificationReport:
     return report
 
 
-def assert_consistent(service: DedupBackupService) -> VerificationReport:
-    """Run :func:`verify_system`; raise IntegrityError on any hard finding."""
-    report = verify_system(service)
+def verify_mfdedup(service) -> VerificationReport:
+    """Audit an MFDedup service's volume layout; never raises.
+
+    Reuses :class:`VerificationReport` with volumes standing in for
+    containers: ``containers`` counts volumes, ``container_chunks`` their
+    chunk refs, ``index_entries`` stays zero (MFDedup keeps no fingerprint
+    index — placement *is* the lifecycle range).
+    """
+    report = VerificationReport()
+    volumes = service.volumes
+    recipes = service.recipes
+
+    # --- volume-side structure ----------------------------------------
+    for volume in volumes:
+        report.containers += 1
+        if volume.first > volume.last:
+            report.errors.append(
+                f"volume {volume.first}..{volume.last} has an inverted lifecycle range"
+            )
+        seen: set[bytes] = set()
+        total = 0
+        for ref in volume.chunks:
+            report.container_chunks += 1
+            total += ref.size
+            if ref.fp in seen:
+                report.errors.append(
+                    f"volume {volume.first}..{volume.last} holds duplicate key "
+                    f"{ref.fp.hex()[:12]}…"
+                )
+            seen.add(ref.fp)
+        if total != volume.size_bytes:
+            report.errors.append(
+                f"volume {volume.first}..{volume.last} size_bytes={volume.size_bytes} "
+                f"but chunks sum to {total}"
+            )
+
+    # --- recipe side: every live backup restorable from its cover ------
+    live_ids = recipes.live_ids()
+    for recipe in recipes.live_recipes():
+        report.live_recipes += 1
+        available: dict[bytes, int] = {}
+        for volume in volumes.volumes_covering(recipe.backup_id):
+            for ref in volume.chunks:
+                available[ref.fp] = ref.size
+        for entry in recipe.entries:
+            report.recipe_entries += 1
+            size = available.get(entry.fp)
+            if size is None:
+                report.errors.append(
+                    f"backup {recipe.backup_id} references key "
+                    f"{entry.fp.hex()[:12]}… absent from its covering volumes"
+                )
+            elif size != entry.size:
+                report.errors.append(
+                    f"backup {recipe.backup_id} key {entry.fp.hex()[:12]}… size "
+                    f"{entry.size} != stored size {size}"
+                )
+
+    # --- expired residue (warning only) --------------------------------
+    if live_ids:
+        expired = sum(1 for volume in volumes if volume.last < live_ids[0])
+        if expired:
+            report.warnings.append(
+                f"{expired} volumes wholly older than the oldest live backup "
+                "(awaiting the next reorg)"
+            )
+    return report
+
+
+def verify_service(service: BackupService) -> VerificationReport:
+    """Audit any backup service, dispatching on its storage layout."""
+    if hasattr(service, "volumes"):
+        return verify_mfdedup(service)
+    return verify_system(service)
+
+
+def assert_consistent(service: BackupService) -> VerificationReport:
+    """Run :func:`verify_service`; raise IntegrityError on any hard finding."""
+    report = verify_service(service)
     if not report.consistent:
         details = "\n  ".join(report.errors[:20])
         raise IntegrityError(

@@ -19,8 +19,13 @@ from __future__ import annotations
 from repro.core.analyzer import Analyzer, ReferenceChecker
 from repro.core.planner import Planner
 from repro.core.preprocessor import Preprocessor
-from repro.gc.migration import MigrationResult, SweepContext
-from repro.storage.writer import ContainerWriter
+from repro.gc.migration import (
+    JournaledCopyForward,
+    MigrationResult,
+    SweepContext,
+    invalid_keys,
+    partition_container,
+)
 from repro.util.rng import DeterministicRng
 
 
@@ -44,8 +49,8 @@ class GCCDFMigration:
         self.last_cluster_counts: list[int] = []
 
     def migrate(self, ctx: SweepContext) -> MigrationResult:
-        result = MigrationResult()
-        writer = ContainerWriter(ctx.store)
+        copy_forward = JournaledCopyForward(ctx)
+        result = copy_forward.result
         checker = ReferenceChecker(ctx.recipes, ctx.config.gccdf)
         analyzer = Analyzer(checker, ctx.config.gccdf)
         planner = Planner(
@@ -72,22 +77,31 @@ class GCCDFMigration:
             )
 
             # Sweep-write: drain the GC cache in the reordered sequence.
+            # The chunk's current placement names its source container —
+            # still correct here, because repointing happens only when a
+            # destination seals, and every fp belongs to exactly one
+            # not-yet-reclaimed source.
             for ref in order.sequence:
-                payload = segment.payloads.get(ref.fp)
-                new_container = writer.append(ref, payload)
-                ctx.index.relocate(ref.fp, new_container)
-                result.migrated_bytes += ref.size
-                result.migrated_chunks += 1
+                source_id = ctx.index.get(ref.fp).container_id
+                copy_forward.migrate_chunk(ref, segment.payloads.get(ref.fp), source_id)
 
-            # Reclaim the segment's old containers and their dead keys.
+            # Mid-migration abort point: the segment's chunks sit in the
+            # (possibly still open) destination, its sources untouched.
+            ctx.disk.crash_point(
+                "gccdf.segment",
+                segment_index=segment.index,
+                containers=len(segment.container_ids),
+            )
+
+            # Schedule the segment's old containers for reclaim; deletion
+            # becomes durable only after their chunks seal and repoint.
             for container_id in segment.container_ids:
-                container = ctx.store.peek(container_id)
-                for entry in container.entries:
-                    if entry.fp not in ctx.mark.vc_table:
-                        ctx.index.discard(entry.fp)
-                ctx.store.delete_container(container_id)
-                result.reclaimed_ids.append(container_id)
-            result.reclaimed_bytes += segment.invalid_bytes
+                _, container_invalid_bytes = partition_container(ctx, container_id)
+                copy_forward.schedule_reclaim(
+                    container_id,
+                    invalid_keys(ctx, container_id),
+                    container_invalid_bytes,
+                )
 
             tracer = ctx.disk.tracer
             if tracer.enabled:
@@ -102,7 +116,7 @@ class GCCDFMigration:
                     },
                 )
 
-        result.produced_ids = writer.flush()
+        copy_forward.finish()
         ctx.analyze_parallelism = min(
             self.parallel_workers, max(1, len(self.last_cluster_counts))
         )

@@ -54,3 +54,32 @@ class GCError(ReproError):
 
 class IntegrityError(ReproError):
     """Restored data failed verification against its recipe."""
+
+
+class JournalError(ReproError):
+    """An intent-journal record was moved through an invalid transition."""
+
+
+class SimulatedCrash(ReproError):
+    """An injected crash fired at an armed crash point.
+
+    Raised by :class:`repro.faults.FaultPlan` from inside the storage layer;
+    everything the in-memory object graph holds at that instant *is* the
+    post-crash disk image.  Callers recover with
+    :func:`repro.faults.recover_service` and re-verify.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        point: str = "",
+        occurrence: int = 0,
+        context: dict | None = None,
+    ):
+        super().__init__(message)
+        #: Name of the crash point that fired (see ``repro.faults.CRASH_POINTS``).
+        self.point = point
+        #: 1-based count of how many times the point had been reached.
+        self.occurrence = occurrence
+        #: Site-specific context captured at the instant of the crash.
+        self.context = dict(context or {})

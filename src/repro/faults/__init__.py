@@ -1,0 +1,55 @@
+"""Deterministic fault injection and crash recovery.
+
+The paper's piggybacked defragmentation makes GC a *mutating* pass — sweep,
+copy-forward, and GCCDF migration rewrite and delete containers while the
+fingerprint index and recipes still point at them — so crash atomicity is
+the core production risk.  This package makes crashes representable and
+survivable:
+
+* :class:`FaultPlan` arms named crash points (:data:`CRASH_POINTS`) and
+  raises a typed :class:`~repro.errors.SimulatedCrash` at a chosen
+  occurrence, deterministically;
+* :class:`~repro.faults.journal.IntentJournal` is the NVRAM-style intent
+  log the storage layer brackets its multi-step mutations with;
+* :func:`recover` / :func:`recover_mfdedup` / :func:`recover_service` roll
+  incomplete intents back or forward so ``verify_system`` reports zero
+  errors after any injected crash.
+
+See ``docs/fault-model.md`` for the crash points, the journal record
+format, and the per-kind recovery semantics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulatedCrash
+from repro.faults.journal import IntentJournal, IntentRecord
+from repro.faults.plan import (
+    CONTAINER_POINTS,
+    CRASH_POINTS,
+    CrashRecord,
+    FaultPlan,
+    points_for,
+)
+from repro.faults.recovery import (
+    RecoveryAction,
+    RecoveryReport,
+    recover,
+    recover_mfdedup,
+    recover_service,
+)
+
+__all__ = [
+    "CONTAINER_POINTS",
+    "CRASH_POINTS",
+    "CrashRecord",
+    "FaultPlan",
+    "IntentJournal",
+    "IntentRecord",
+    "RecoveryAction",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "points_for",
+    "recover",
+    "recover_mfdedup",
+    "recover_service",
+]

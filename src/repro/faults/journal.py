@@ -1,0 +1,118 @@
+"""The lightweight intent journal behind crash-consistent mutation.
+
+Every multi-step mutation of the storage layer (container write, sweep
+copy-forward, container reclaim, a whole GC round, MFDedup ingest migration
+and volume reorg) brackets itself with an intent record:
+
+* :meth:`IntentJournal.begin` — the intent is *open*: the mutation may be
+  half applied; recovery must roll it back or roll it forward.
+* :meth:`IntentJournal.commit` — the intent is *committed*: its durable
+  point has passed; recovery must roll it **forward**.
+* :meth:`IntentJournal.close` — all effects applied; the record is
+  truncated from the journal (a real system's log checkpoint).
+* :meth:`IntentJournal.abort` — an open intent was rolled back; truncated.
+
+The journal models an NVRAM-backed metadata log **outside the simulated data
+path**: no operation here charges :class:`~repro.simio.disk.DiskModel` I/O,
+so an un-faulted run produces byte-identical results with or without it
+(records per *container-granular* operation keep the overhead negligible).
+Mutating ``record.payload`` between begin and commit models appending to the
+same intent — e.g. a copy-forward intent accumulates its moves as chunks are
+appended to the destination container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import JournalError
+
+#: Record lifecycle states (``close``/``abort`` remove the record).
+OPEN = "open"
+COMMITTED = "committed"
+
+
+@dataclass
+class IntentRecord:
+    """One journaled intent: a kind, a mutable payload, and a state."""
+
+    intent_id: int
+    kind: str
+    payload: dict = field(default_factory=dict)
+    state: str = OPEN
+
+
+class IntentJournal:
+    """Ordered live intents (open or committed) of one storage device."""
+
+    def __init__(self) -> None:
+        self._records: dict[int, IntentRecord] = {}
+        self._next_id = 0
+        #: Monotonic counters for auditing journal churn.
+        self.begun = 0
+        self.closed = 0
+        self.aborted = 0
+
+    def begin(self, kind: str, **payload) -> IntentRecord:
+        """Open a new intent; the mutation may start once this returns."""
+        record = IntentRecord(intent_id=self._next_id, kind=kind, payload=payload)
+        self._next_id += 1
+        self._records[record.intent_id] = record
+        self.begun += 1
+        return record
+
+    def commit(self, record: IntentRecord) -> None:
+        """Mark the intent durable: recovery now rolls it forward."""
+        live = self._records.get(record.intent_id)
+        if live is not record or record.state != OPEN:
+            raise JournalError(
+                f"cannot commit {record.kind!r} intent {record.intent_id} "
+                f"(state {record.state!r})"
+            )
+        record.state = COMMITTED
+
+    def close(self, record: IntentRecord) -> None:
+        """All effects applied — truncate the record."""
+        live = self._records.get(record.intent_id)
+        if live is not record or record.state != COMMITTED:
+            raise JournalError(
+                f"cannot close {record.kind!r} intent {record.intent_id} "
+                f"(state {record.state!r})"
+            )
+        del self._records[record.intent_id]
+        self.closed += 1
+
+    def abort(self, record: IntentRecord) -> None:
+        """An open intent was rolled back — truncate the record."""
+        live = self._records.get(record.intent_id)
+        if live is not record or record.state != OPEN:
+            raise JournalError(
+                f"cannot abort {record.kind!r} intent {record.intent_id} "
+                f"(state {record.state!r})"
+            )
+        del self._records[record.intent_id]
+        self.aborted += 1
+
+    def records(
+        self, kind: str | None = None, state: str | None = None
+    ) -> list[IntentRecord]:
+        """Live records in begin order, optionally filtered."""
+        return [
+            record
+            for intent_id, record in sorted(self._records.items())
+            if (kind is None or record.kind == kind)
+            and (state is None or record.state == state)
+        ]
+
+    def open_records(self, kind: str | None = None) -> list[IntentRecord]:
+        return self.records(kind=kind, state=OPEN)
+
+    def committed_records(self, kind: str | None = None) -> list[IntentRecord]:
+        return self.records(kind=kind, state=COMMITTED)
+
+    def __len__(self) -> int:
+        """Number of live (not yet truncated) records."""
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"IntentJournal({len(self._records)} live, {self.begun} begun)"

@@ -1,0 +1,135 @@
+"""Deterministic fault injection: armed crash points and the plan that fires them.
+
+A :class:`FaultPlan` arms named *crash points* — fixed places inside the
+storage layer where a crash would leave metadata structures mutually
+inconsistent (a torn container write, the gap between copy-forward and index
+repoint, the gap between container deletion and recipe purge, …).  Code
+reaches a point by calling :meth:`repro.simio.disk.DiskModel.crash_point`;
+when the plan's armed occurrence count is hit, a typed
+:class:`~repro.errors.SimulatedCrash` is raised and the run stops exactly
+there.  Everything is counted deterministically, so the same plan over the
+same workload crashes at the same instruction every time.
+
+A plan fires at most once: after :attr:`FaultPlan.fired` is set, subsequent
+``reached`` calls only keep counting, so recovery and continued operation on
+the survived system never re-crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, SimulatedCrash
+from repro.util.rng import DeterministicRng
+
+#: Every crash point the storage layer exposes, in pipeline order.
+CRASH_POINTS = (
+    # A container write that charged its I/O but never journal-committed.
+    "store.commit.torn",
+    # Mid-mark abort: read-only, the cheapest crash to survive.
+    "gc.mark",
+    # Copy-forward destination sealed, index not yet repointed at it.
+    "sweep.repoint",
+    # Invalid index keys dropped, container deletion not yet durable.
+    "sweep.delete",
+    # Sweep complete, logically deleted recipes not yet purged.
+    "gc.purge",
+    # GCCDF segment written, its source containers not yet reclaimed.
+    "gccdf.segment",
+    # MFDedup ingest-time volume migration performed, ingest not committed.
+    "mfdedup.migrate",
+    # MFDedup reorg intent journaled, expired volumes not yet unlinked.
+    "mfdedup.reorg",
+)
+
+#: Crash points reachable by the shared container-based GC protocol.
+CONTAINER_POINTS = (
+    "store.commit.torn",
+    "gc.mark",
+    "sweep.repoint",
+    "sweep.delete",
+    "gc.purge",
+)
+
+#: Crash points reachable per approach name (``make_service`` spelling).
+def points_for(approach: str) -> tuple[str, ...]:
+    """The crash points an approach's data path can actually reach."""
+    if approach == "mfdedup":
+        return ("mfdedup.migrate", "mfdedup.reorg")
+    if approach == "gccdf":
+        return CONTAINER_POINTS + ("gccdf.segment",)
+    return CONTAINER_POINTS
+
+
+@dataclass(frozen=True)
+class CrashRecord:
+    """What fired: the point, its occurrence, and the site's context."""
+
+    point: str
+    occurrence: int
+    context: dict = field(default_factory=dict)
+
+
+class FaultPlan:
+    """Armed crash points with 1-based occurrence counts.
+
+    ``FaultPlan({"sweep.delete": 3})`` crashes the third time the sweep is
+    about to make a container deletion durable.  :meth:`single` builds the
+    common one-point plan; :meth:`seeded` derives point and occurrence from
+    an integer seed for randomized-but-reproducible campaigns.
+    """
+
+    def __init__(self, arms: dict[str, int] | None = None):
+        arms = dict(arms or {})
+        for point, occurrence in arms.items():
+            if point not in CRASH_POINTS:
+                raise ConfigError(
+                    f"unknown crash point {point!r}; choose from {CRASH_POINTS}"
+                )
+            if occurrence < 1:
+                raise ConfigError("crash occurrence counts are 1-based")
+        self._arms = arms
+        #: point → times reached so far (counted whether armed or not).
+        self.hits: dict[str, int] = {}
+        #: Set once the armed occurrence fires; the plan never fires again.
+        self.fired: CrashRecord | None = None
+
+    @classmethod
+    def single(cls, point: str, occurrence: int = 1) -> "FaultPlan":
+        """Arm exactly one point at one occurrence."""
+        return cls({point: occurrence})
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        points: tuple[str, ...] = CRASH_POINTS,
+        max_occurrence: int = 4,
+    ) -> "FaultPlan":
+        """Derive a one-point plan deterministically from ``seed``."""
+        rng = DeterministicRng(seed).fork("fault-plan")
+        point = rng.choice(list(points))
+        return cls({point: rng.randint(1, max_occurrence)})
+
+    @property
+    def arms(self) -> dict[str, int]:
+        return dict(self._arms)
+
+    def reached(self, point: str, **context) -> None:
+        """Count one arrival at ``point``; raise if its armed occurrence hit."""
+        self.hits[point] = count = self.hits.get(point, 0) + 1
+        if self.fired is not None:
+            return
+        occurrence = self._arms.get(point)
+        if occurrence is not None and count == occurrence:
+            self.fired = CrashRecord(point=point, occurrence=count, context=dict(context))
+            raise SimulatedCrash(
+                f"injected crash at {point} (occurrence {count})",
+                point=point,
+                occurrence=count,
+                context=context,
+            )
+
+    def __repr__(self) -> str:
+        state = f"fired at {self.fired.point}" if self.fired else "armed"
+        return f"FaultPlan({self._arms}, {state})"

@@ -41,8 +41,16 @@ class MarkSweepGC:
         self.history: list[GCReport] = []
 
     def collect(self) -> GCReport:
-        """Run one full collection and purge logically deleted recipes."""
+        """Run one full collection and purge logically deleted recipes.
+
+        The round runs under a ``sweep`` intent: open until migration has
+        fully completed (all copy-forwards sealed, all reclaims durable),
+        committed before the recipe purge, closed after it.  A crash with
+        the intent open aborts the round (deleted recipes remain for the
+        next GC); committed, recovery finishes the purge.
+        """
         tracer = self.disk.tracer
+        round_intent = self.store.journal.begin("sweep", round_index=self._rounds)
         mark_stage = MarkStage(self.config, self.index, self.recipes, self.disk)
         mark = mark_stage.run()
 
@@ -88,7 +96,10 @@ class MarkSweepGC:
                 },
             )
 
+        self.store.journal.commit(round_intent)
+        self.disk.crash_point("gc.purge", round_index=self._rounds)
         purged = self.recipes.purge_deleted()
+        self.store.journal.close(round_intent)
         if tracer.enabled:
             tracer.emit(
                 "gc.purge",

@@ -96,6 +96,10 @@ class MarkStage:
                     if placement is not None:
                         gs_set.add(placement.container_id)
 
+            # Mark is read-only, so a crash here needs no repair — recovery
+            # simply aborts the round and the next GC re-marks from scratch.
+            self.disk.crash_point("gc.mark", gs_containers=len(gs_set))
+
             # Pass 2 — live recipes: VC table and RRT in a single traversal.
             vc_table = make_vc_table(self.config.vc_table, expected_keys=len(self.index))
             rrt_sets: dict[int, set[int]] = {container_id: set() for container_id in gs_set}

@@ -9,13 +9,30 @@ between classic GC and GCCDF — so the engine delegates exactly that to a
   paper's Naïve/Capping/HAR/SMR configurations all sweep this way;
 * :class:`repro.core.gccdf.GCCDFMigration` reorders chunks per §4/§5.
 
-Shared mechanics (validity checks, deleting old containers, index updates)
-live in :func:`partition_container` and :func:`reclaim_container` so
-strategies stay focused on ordering.
+Shared mechanics live in :func:`partition_container` (validity split) and
+:class:`JournaledCopyForward`, which owns the crash-consistent protocol both
+strategies write through:
+
+1. every chunk appended toward a destination container is recorded in an
+   open ``copyforward`` intent (fp, source, size) *before* anything else
+   depends on it;
+2. when the destination seals (store commit), the index is repointed at it
+   and only then does the intent commit and close — so recovery only ever
+   sees **open** copy-forward intents, which it rolls back (sources are
+   still alive by rule 3);
+3. a source container is reclaimed only after every chunk migrated out of
+   it has durably sealed and repointed (``reclaim`` intent: drop invalid
+   index keys → delete container), so a crash can never orphan data.
+
+Reclaims are therefore *deferred* behind a FIFO that preserves the classic
+reclaim order; deferral is free in the cost model (deletes charge no I/O),
+so an un-faulted sweep performs the byte-identical read/write sequence the
+unjournaled protocol did.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -25,6 +42,7 @@ from repro.index.fingerprint_index import FingerprintIndex
 from repro.index.recipe import RecipeStore
 from repro.model import ChunkRef
 from repro.simio.disk import DiskModel
+from repro.storage.container import Container
 from repro.storage.store import ContainerStore
 from repro.storage.writer import ContainerWriter
 from repro.util.timer import Stopwatch
@@ -93,47 +111,128 @@ def partition_container(ctx: SweepContext, container_id: int) -> tuple[list[Chun
     return valid, invalid_bytes
 
 
-def reclaim_container(
-    ctx: SweepContext,
-    result: MigrationResult,
-    container_id: int,
-    valid: list[ChunkRef],
-    invalid_bytes: int,
-    writer: ContainerWriter,
-) -> None:
-    """Copy ``valid`` forward out of ``container_id`` and delete it.
-
-    Charges the sweep-read (one full container read, skipped when nothing is
-    valid — metadata already told us there is nothing to copy), relocates
-    index entries, drops invalid keys, and updates ``result``.
-    """
-    payload_source = None
-    if valid:
-        payload_source = ctx.store.read_container(container_id)
+def invalid_keys(ctx: SweepContext, container_id: int) -> list[bytes]:
+    """Storage keys of one container's invalid chunks (metadata only)."""
     container = ctx.store.peek(container_id)
-    for entry in container.entries:
-        if entry.fp not in ctx.mark.vc_table:
-            ctx.index.discard(entry.fp)
-    for entry in valid:
-        payload = payload_source.payload(entry.fp) if payload_source is not None else None
-        new_container = writer.append(entry, payload)
-        ctx.index.relocate(entry.fp, new_container)
-        result.migrated_bytes += entry.size
-        result.migrated_chunks += 1
-    ctx.store.delete_container(container_id)
-    result.reclaimed_ids.append(container_id)
-    result.reclaimed_bytes += invalid_bytes
-    tracer = ctx.disk.tracer
-    if tracer.enabled:
-        tracer.emit(
-            "gc.reclaim",
-            sim_time=ctx.disk.sim_time,
-            fields={
-                "container_id": container_id,
-                "valid_chunks": len(valid),
-                "invalid_bytes": invalid_bytes,
-            },
+    return [e.fp for e in container.entries if e.fp not in ctx.mark.vc_table]
+
+
+class JournaledCopyForward:
+    """Crash-consistent copy-forward writer shared by every strategy.
+
+    Strategies stream valid chunks through :meth:`migrate_chunk` (in
+    whatever order they choose — that is their whole job) and hand each
+    emptied source to :meth:`schedule_reclaim`; this class owns intent
+    bracketing, index repointing at seal time, and the deferred reclaim
+    queue.  :meth:`finish` seals the tail and drains the queue.
+    """
+
+    def __init__(self, ctx: SweepContext):
+        self.ctx = ctx
+        self.journal = ctx.store.journal
+        self.writer = ContainerWriter(ctx.store, on_commit=self._on_seal)
+        self.result = MigrationResult()
+        #: Open ``copyforward`` intent for the currently filling destination
+        #: (its ``moves`` payload list is mutated in place as chunks arrive).
+        self._intent = None
+        self._moves: list[dict] | None = None
+        #: source container id → chunks migrated out but not yet sealed.
+        self._outstanding: dict[int, int] = {}
+        #: fp → destination id, this round.  Guards against cross-container
+        #: duplicates, which exist at rest only after an aborted round (the
+        #: source survives next to an already-repointed destination).
+        self._migrated: dict[bytes, int] = {}
+        #: source container id → valid chunks migrated (trace reporting).
+        self._valid_counts: dict[int, int] = {}
+        #: FIFO of (source_id, invalid_fps, invalid_bytes) awaiting reclaim.
+        #: Head-of-line blocking keeps ``reclaimed_ids`` in schedule order.
+        self._pending: "deque[tuple[int, list[bytes], int]]" = deque()
+
+    def migrate_chunk(self, entry: ChunkRef, payload: bytes | None, source_id: int) -> None:
+        """Copy one valid chunk of ``source_id`` toward the open destination."""
+        if entry.fp in self._migrated:
+            # Second physical copy of a key already migrated this round
+            # (possible only after a recovered crash left a duplicate at
+            # rest): keep the one copy, skip the append.
+            return
+        destination = self.writer.append(entry, payload)  # may seal the previous one
+        if self._intent is None:
+            self._moves = []
+            self._intent = self.journal.begin(
+                "copyforward", destination=destination, moves=self._moves
+            )
+        self._moves.append({"fp": entry.fp, "source": source_id, "size": entry.size})
+        self._migrated[entry.fp] = destination
+        self._outstanding[source_id] = self._outstanding.get(source_id, 0) + 1
+        self._valid_counts[source_id] = self._valid_counts.get(source_id, 0) + 1
+        self.result.migrated_bytes += entry.size
+        self.result.migrated_chunks += 1
+
+    def schedule_reclaim(
+        self, container_id: int, invalid_fps: list[bytes], invalid_bytes: int
+    ) -> None:
+        """Reclaim ``container_id`` once its migrated chunks are durable."""
+        self._pending.append((container_id, invalid_fps, invalid_bytes))
+        self._drain()
+
+    def finish(self) -> MigrationResult:
+        """Seal the open destination, drain pending reclaims, and report."""
+        produced = self.writer.flush()  # triggers _on_seal → final drain
+        self._drain()
+        assert not self._pending, "reclaim deferred past the end of the sweep"
+        self.result.produced_ids = produced
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _on_seal(self, container: Container) -> None:
+        """Destination sealed: repoint the index, close the intent, drain."""
+        intent, moves = self._intent, self._moves
+        self._intent = self._moves = None
+        assert intent is not None and moves is not None
+        self.ctx.disk.crash_point(
+            "sweep.repoint",
+            container_id=container.container_id,
+            chunks=len(moves),
         )
+        for move in moves:
+            self.ctx.index.relocate(move["fp"], container.container_id)
+        self.journal.commit(intent)
+        self.journal.close(intent)
+        for move in moves:
+            self._outstanding[move["source"]] -= 1
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._pending and self._outstanding.get(self._pending[0][0], 0) == 0:
+            container_id, invalid_fps, invalid_bytes = self._pending.popleft()
+            self._reclaim(container_id, invalid_fps, invalid_bytes)
+
+    def _reclaim(self, container_id: int, invalid_fps: list[bytes], invalid_bytes: int) -> None:
+        intent = self.journal.begin(
+            "reclaim", container_id=container_id, invalid=invalid_fps
+        )
+        for fp in invalid_fps:
+            self.ctx.index.discard(fp)
+        self.ctx.disk.crash_point("sweep.delete", container_id=container_id)
+        self.ctx.store.delete_container(container_id)
+        self.journal.commit(intent)
+        self.journal.close(intent)
+        self.result.reclaimed_ids.append(container_id)
+        self.result.reclaimed_bytes += invalid_bytes
+        tracer = self.ctx.disk.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "gc.reclaim",
+                sim_time=self.ctx.disk.sim_time,
+                fields={
+                    "container_id": container_id,
+                    "valid_chunks": self._valid_counts.get(container_id, 0),
+                    "invalid_bytes": invalid_bytes,
+                },
+            )
 
 
 class NaiveMigration:
@@ -148,12 +247,20 @@ class NaiveMigration:
     name = "naive"
 
     def migrate(self, ctx: SweepContext) -> MigrationResult:
-        result = MigrationResult()
-        writer = ContainerWriter(ctx.store)
+        copy_forward = JournaledCopyForward(ctx)
         for container_id in ctx.mark.gs_list:
             valid, invalid_bytes = partition_container(ctx, container_id)
             if invalid_bytes == 0:
                 continue  # involved but fully valid: nothing to reclaim
-            reclaim_container(ctx, result, container_id, valid, invalid_bytes, writer)
-        result.produced_ids = writer.flush()
-        return result
+            # Sweep-read: one full container read, skipped when nothing is
+            # valid (metadata already told us there is nothing to copy).
+            payload_source = ctx.store.read_container(container_id) if valid else None
+            for entry in valid:
+                payload = (
+                    payload_source.payload(entry.fp) if payload_source is not None else None
+                )
+                copy_forward.migrate_chunk(entry, payload, container_id)
+            copy_forward.schedule_reclaim(
+                container_id, invalid_keys(ctx, container_id), invalid_bytes
+            )
+        return copy_forward.finish()

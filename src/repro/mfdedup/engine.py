@@ -80,13 +80,34 @@ class MFDedupService(BackupService):
                 else:
                     stored_bytes += ref.size
 
-            # Migrate forward the predecessor's still-shared chunks.
+            # Migrate forward the predecessor's still-shared chunks, under
+            # one umbrella intent recording every performed move — a crash
+            # mid-ingest must roll back *all* of them, because a partially
+            # migrated predecessor breaks the next ingest's lifecycle chain
+            # (``volumes_ending_at`` would miss chunks moved ahead).
+            intent = self.volumes.journal.begin(
+                "mfdedup.ingest", backup_id=backup_id, migrates=[]
+            )
+            migrates: list[dict] = intent.payload["migrates"]
             if self._previous_id is not None:
                 for volume in self.volumes.volumes_ending_at(self._previous_id):
                     shared = [ref for ref in volume.chunks if ref.fp in current]
                     if shared:
                         destination = self.volumes.get_or_create(volume.first, backup_id)
                         self.volumes.migrate(volume, destination, shared)
+                        migrates.append(
+                            {
+                                "source": (volume.first, volume.last),
+                                "destination": (destination.first, destination.last),
+                                "fps": [ref.fp for ref in shared],
+                            }
+                        )
+                        self.disk.crash_point(
+                            "mfdedup.migrate",
+                            backup_id=backup_id,
+                            source_first=volume.first,
+                            chunks=len(shared),
+                        )
 
             # Store fresh chunks in Vol(n, n).
             for fp, size in current.items():
@@ -105,6 +126,10 @@ class MFDedupService(BackupService):
         self._previous_id = backup_id
         self._cumulative_logical += logical_bytes
         self._cumulative_stored += stored_bytes
+        # The recipe is durable and every migrated chunk reachable: the
+        # ingest intent can be retired.
+        self.volumes.journal.commit(intent)
+        self.volumes.journal.close(intent)
 
         result = IngestResult(
             backup_id=backup_id,
@@ -131,10 +156,18 @@ class MFDedupService(BackupService):
             purged = self.recipes.purge_deleted()
             live = self.recipes.live_ids()
             oldest_live = live[0] if live else (self._next_unseen_id())
+            # The reorg intent pins ``oldest_live`` so recovery can replay
+            # ``drop_expired`` idempotently after a crash at the armed
+            # ``mfdedup.reorg`` point (recipes already purged, volumes not
+            # yet unlinked).
+            intent = self.volumes.journal.begin("volume.reorg", oldest_live=oldest_live)
+            self.disk.crash_point("mfdedup.reorg", oldest_live=oldest_live)
             volumes_dropped, bytes_dropped = self.volumes.drop_expired(oldest_live)
             # Unlinking a volume is a metadata write (no data copying).
             for _ in range(volumes_dropped):
                 self.disk.write(4096)
+            self.volumes.journal.commit(intent)
+            self.volumes.journal.close(intent)
             ph.annotate(
                 backups_purged=len(purged),
                 volumes_dropped=volumes_dropped,
@@ -167,6 +200,14 @@ class MFDedupService(BackupService):
 
     def _next_unseen_id(self) -> int:
         return (self._previous_id + 1) if self._previous_id is not None else 0
+
+    def recover(self):
+        """Repair after a :class:`~repro.errors.SimulatedCrash` by rolling
+        the volume store's incomplete journal intents back or forward;
+        returns a :class:`~repro.faults.RecoveryReport`."""
+        from repro.faults.recovery import recover_mfdedup
+
+        return recover_mfdedup(self.volumes, self.recipes)
 
     # ------------------------------------------------------------------
     # Restore

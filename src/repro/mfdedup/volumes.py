@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import StorageError
+from repro.faults.journal import IntentJournal
 from repro.model import ChunkRef
 from repro.simio.disk import DiskModel
 
@@ -48,6 +49,9 @@ class VolumeStore:
         self.migrated_bytes = 0
         #: Cumulative bytes dropped by deletion (MFDedup's whole GC).
         self.deleted_bytes = 0
+        #: Intent journal (NVRAM model, zero simulated I/O) bracketing
+        #: ingest-time migration batches and volume reorgs.
+        self.journal = IntentJournal()
 
     def get(self, first: int, last: int) -> Volume:
         key = (first, last)
@@ -85,6 +89,37 @@ class VolumeStore:
             destination.append(ref)
         self.migrated_bytes += moved
         return moved
+
+    def rollback_migrate(
+        self,
+        source_key: tuple[int, int],
+        destination_key: tuple[int, int],
+        fps: list[bytes],
+    ) -> int:
+        """Undo one :meth:`migrate` during crash recovery.
+
+        Moves the chunks named by ``fps`` back from the destination volume
+        to the source volume (charging the same read + write the forward
+        move cost) and deletes the destination if the rollback empties it.
+        Returns the bytes moved back.
+        """
+        source = self._volumes[tuple(source_key)]
+        destination_key = tuple(destination_key)
+        destination = self._volumes[destination_key]
+        wanted = set(fps)
+        moved = [ref for ref in destination.chunks if ref.fp in wanted]
+        moved_bytes = sum(ref.size for ref in moved)
+        if moved_bytes:
+            self.disk.read(moved_bytes)
+            self.disk.write(moved_bytes)
+        destination.chunks = [ref for ref in destination.chunks if ref.fp not in wanted]
+        destination.size_bytes -= moved_bytes
+        for ref in moved:
+            source.append(ref)
+        self.migrated_bytes -= moved_bytes
+        if not destination.chunks:
+            del self._volumes[destination_key]
+        return moved_bytes
 
     def volumes_ending_at(self, last: int) -> list[Volume]:
         """Volumes whose live range ends exactly at backup ``last``."""

@@ -33,13 +33,19 @@ SPAN_NAMES = (
     "gc.sweep",
     "gc.purge",
     "restore",
+    "recovery",
 )
 
 #: Point-event names emitted by the storage layer.
 POINT_NAMES = (
     "container.read",
     "container.write",
+    "container.delete",
     "cache.evict",
+    "gc.reclaim",
+    "gc.segment",
+    "recovery.rollback",
+    "recovery.replay",
 )
 
 

@@ -22,9 +22,15 @@ per phase with the delta as its I/O payload.  The hand-rolled
 
 from __future__ import annotations
 
+import warnings
+from typing import TYPE_CHECKING
+
 from repro.config import DiskConfig
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simio.stats import IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults → errors only)
+    from repro.faults.plan import FaultPlan
 
 
 class PhaseScope:
@@ -59,12 +65,19 @@ class PhaseScope:
             self.fields.update(fields)
 
     def __enter__(self) -> "PhaseScope":
+        if self._before is not None:
+            raise RuntimeError(f"phase scope {self.name!r} is already active")
+        if self.delta is not None:
+            # Re-entering a used scope would silently clobber its delta;
+            # callers must open a fresh scope via DiskModel.phase().
+            raise RuntimeError(f"phase scope {self.name!r} cannot be reused after exit")
         self._before = self._disk.stats.snapshot()
         self._start = self._before.total_seconds
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        assert self._before is not None, "phase scope entered twice or never"
+        if self._before is None:
+            raise RuntimeError(f"phase scope {self.name!r} exited without being entered")
         self.delta = self._disk.stats.diff(self._before)
         self._before = None
         tracer = self._disk.tracer
@@ -82,12 +95,20 @@ class PhaseScope:
 class DiskModel:
     """Charges simulated time for reads/writes and keeps :class:`IOStats`."""
 
-    def __init__(self, config: DiskConfig | None = None, tracer: Tracer | None = None):
+    def __init__(
+        self,
+        config: DiskConfig | None = None,
+        tracer: Tracer | None = None,
+        faults: "FaultPlan | None" = None,
+    ):
         self.config = config or DiskConfig()
         self.config.validate()
         self.stats = IOStats()
         # Explicit None test: an empty TraceRecorder is falsy (len == 0).
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Armed fault plan; ``None`` (the default) makes every crash point
+        #: a no-op attribute check.
+        self.faults = faults
 
     def _cost(self, nbytes: int) -> float:
         return self.config.seek_time + nbytes / self.config.bandwidth
@@ -121,8 +142,25 @@ class DiskModel:
         """Open a named accounting phase (see :class:`PhaseScope`)."""
         return PhaseScope(self, name)
 
+    def crash_point(self, name: str, **context) -> None:
+        """Pass an armed crash point (see :data:`repro.faults.CRASH_POINTS`).
+
+        With no fault plan attached this is a single attribute check.  With
+        a plan, the point's arrival is counted and — at the armed
+        occurrence — a :class:`~repro.errors.SimulatedCrash` carrying
+        ``context`` (plus the current simulated time) is raised.
+        """
+        if self.faults is not None:
+            self.faults.reached(name, sim_time=self.sim_time, **context)
+
     def snapshot(self) -> IOStats:
         """Deprecated: snapshot counters by hand (pair with
         :meth:`IOStats.diff`).  Prefer :meth:`phase`, which cannot be
         mis-paired and feeds the tracer."""
+        warnings.warn(
+            "DiskModel.snapshot() is deprecated; use DiskModel.phase() for "
+            "phase attribution",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.stats.snapshot()

@@ -9,6 +9,7 @@ snapshots and diffs for you (and reports the phase to the attached tracer).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 
@@ -61,6 +62,12 @@ class IOStats:
 
     def since(self, earlier: "IOStats") -> "IOStats":
         """Deprecated alias of :meth:`diff` (kept for old call sites)."""
+        warnings.warn(
+            "IOStats.since() is deprecated; use IOStats.diff() (or "
+            "DiskModel.phase(), which pairs snapshot and diff for you)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.diff(earlier)
 
     def merge(self, other: "IOStats") -> None:

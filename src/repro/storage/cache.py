@@ -34,6 +34,9 @@ class ContainerCache:
         self._entries: "OrderedDict[int, Container]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # Subscribe for invalidation: a cache that outlives a GC (or crash
+        # recovery) must not keep serving containers the store deleted.
+        store.register_cache(self)
 
     def get(self, container_id: int) -> Container:
         """Fetch a container, reading from disk only on a miss."""

@@ -18,9 +18,11 @@ attribute check per container — not per chunk).
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Iterator
 
 from repro.errors import UnknownContainerError
+from repro.faults.journal import IntentJournal
 from repro.simio.disk import DiskModel
 from repro.storage.container import Container
 
@@ -36,6 +38,22 @@ class ContainerStore:
         #: Monotonic counters for auditing GC behaviour.
         self.containers_written = 0
         self.containers_deleted = 0
+        #: Intent journal bracketing every multi-step mutation (container
+        #: writes here; sweep/copy-forward/reclaim intents from the GC).
+        #: Modelled as an NVRAM metadata log: it charges no simulated I/O.
+        self.journal = IntentJournal()
+        #: Caches to notify when a container leaves the store.  Weak so a
+        #: per-restore cache does not outlive its restore.
+        self._caches: "weakref.WeakSet" = weakref.WeakSet()
+
+    def register_cache(self, cache) -> None:
+        """Subscribe a :class:`~repro.storage.cache.ContainerCache` for
+        invalidation when containers are deleted (GC) or dropped (recovery)."""
+        self._caches.add(cache)
+
+    def _invalidate_caches(self, container_id: int) -> None:
+        for cache in self._caches:
+            cache.invalidate(container_id)
 
     def allocate(self) -> Container:
         """Create a fresh open container with the store's capacity."""
@@ -44,12 +62,28 @@ class ContainerStore:
         return container
 
     def commit(self, container: Container) -> None:
-        """Seal ``container`` and write it to disk (charging write I/O)."""
+        """Seal ``container`` and write it to disk (charging write I/O).
+
+        The write is bracketed by a ``container.write`` intent: a crash at
+        the armed ``store.commit.torn`` point leaves the container in the
+        map with its I/O charged but the intent still open — the torn-write
+        state recovery rolls back.
+        """
         container.seal()
         if not container.entries:
             return  # nothing to persist; id is simply burned
+        intent = self.journal.begin(
+            "container.write", container_id=container.container_id
+        )
         self._containers[container.container_id] = container
         self.disk.write(container.used_bytes)
+        self.disk.crash_point(
+            "store.commit.torn",
+            container_id=container.container_id,
+            bytes=container.used_bytes,
+        )
+        self.journal.commit(intent)
+        self.journal.close(intent)
         self.containers_written += 1
         tracer = self.disk.tracer
         if tracer.enabled:
@@ -97,6 +131,7 @@ class ContainerStore:
             raise UnknownContainerError(f"container {container_id} not in store")
         del self._containers[container_id]
         self.containers_deleted += 1
+        self._invalidate_caches(container_id)
         tracer = self.disk.tracer
         if tracer.enabled:
             tracer.emit(
@@ -104,6 +139,18 @@ class ContainerStore:
                 sim_time=self.disk.sim_time,
                 fields={"container_id": container_id},
             )
+
+    def discard_container(self, container_id: int) -> None:
+        """Drop a container during crash recovery (torn write or rolled-back
+        copy-forward destination).
+
+        Unlike :meth:`delete_container` this is not a GC reclaim: it keeps
+        the audit counters untouched and emits no ``container.delete`` event
+        — recovery reports its own ``recovery.*`` events.  Caches are still
+        invalidated.  Idempotent: discarding an absent id is a no-op.
+        """
+        if self._containers.pop(container_id, None) is not None:
+            self._invalidate_caches(container_id)
 
     def __contains__(self, container_id: int) -> bool:
         return container_id in self._containers

@@ -9,6 +9,15 @@ Observability: sealing a container through :meth:`ContainerStore.commit`
 emits a ``container.write`` trace event (when the store's disk has an
 enabled tracer), so the writer itself stays tracer-free — every durable
 write is already visible at the store boundary.
+
+Crash consistency: the ``on_commit`` hook fires *after* the store has made
+the container durable (and journalled its write intent), which is what lets
+:class:`repro.gc.migration.JournaledCopyForward` treat it as the seal
+notification — index repointing and intent close happen inside the hook, so
+a crash during the commit itself always leaves the copy-forward intent open
+and therefore rollable-back.  If :meth:`ContainerStore.commit` raises (an
+injected torn write), the hook is never invoked and ``committed_ids`` does
+not record the container.
 """
 
 from __future__ import annotations

@@ -56,6 +56,39 @@ class TestDedupRatioAccounting:
         assert "naive" in service.describe()
 
 
+class TestSharedCacheAcrossGC:
+    def test_long_lived_cache_never_serves_reclaimed_containers(self, tiny_config):
+        """Regression: a cache held across a GC round must drop every
+        container the sweep reclaimed, so restores through it read the
+        migrated copies instead of stale pre-sweep payloads."""
+        from repro.storage.cache import ContainerCache
+
+        service = DedupBackupService(config=tiny_config, migration=NaiveMigration())
+        first = service.ingest(refs("a", range(16)))
+        service.ingest(refs("a", range(8, 24)))
+
+        cache = ContainerCache(service.store, capacity=None)
+        warmed = list(service.store.ids())
+        for cid in warmed:
+            cache.get(cid)
+
+        service.delete_backup(first.backup_id)
+        report = service.run_gc()
+        assert report.reclaimed_containers > 0
+
+        live_ids = set(service.store.ids())
+        reclaimed = [cid for cid in warmed if cid not in live_ids]
+        assert reclaimed  # the sweep actually dropped a warmed container
+        assert all(cid not in cache for cid in reclaimed)
+
+        restored = {
+            entry.fp for cid in live_ids for entry in cache.get(cid)
+        }
+        for backup_id in service.live_backup_ids():
+            recipe_fps = {entry.fp for entry in service.recipes.get(backup_id).entries}
+            assert recipe_fps <= restored
+
+
 class TestDeleteOldest:
     def test_deletes_lowest_ids(self, tiny_config):
         service = DedupBackupService(config=tiny_config)

@@ -1,0 +1,211 @@
+"""Fault injection and crash recovery (`repro.faults`).
+
+The heart of this module is the crash matrix: for every approach and every
+crash point its data path can reach, run the full rotation protocol with
+that point armed, let the injected :class:`SimulatedCrash` fire, recover,
+and require the verifier to find **zero** errors — then keep operating the
+survived system (restore everything, run another GC round) and verify
+again.  The unit tests around it pin the :class:`FaultPlan` arming rules
+and the :class:`IntentJournal` state machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backup.approaches import make_service
+from repro.backup.driver import RotationDriver
+from repro.backup.verify import verify_service
+from repro.config import SystemConfig
+from repro.errors import ConfigError, JournalError, SimulatedCrash
+from repro.faults import (
+    CONTAINER_POINTS,
+    CRASH_POINTS,
+    FaultPlan,
+    IntentJournal,
+    points_for,
+    recover_service,
+)
+from repro.workloads.datasets import dataset
+
+# The "web" dataset reaches every crash point (it is the only preset whose
+# consecutive backups share chunks, which MFDedup's ingest-time migration —
+# and thus ``mfdedup.migrate`` — requires).
+DATASET = "web"
+MATRIX_APPROACHES = ("naive", "gccdf", "mfdedup")
+
+
+def run_protocol(approach: str, faults: FaultPlan | None = None):
+    """A small-but-complete rotation over ``web``; returns the service."""
+    config = SystemConfig.scaled(retained=10, turnover=3)
+    service = make_service(approach, config, faults=faults)
+    driver = RotationDriver(service, config.retention, dataset_name=DATASET)
+    driver.run(dataset(DATASET, scale=0.1, num_backups=16))
+    return service
+
+
+def live_journal(service) -> IntentJournal:
+    return service.volumes.journal if hasattr(service, "volumes") else service.store.journal
+
+
+class TestFaultPlan:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan({"no.such.point": 1})
+
+    def test_occurrence_is_one_based(self):
+        with pytest.raises(ConfigError):
+            FaultPlan({"gc.mark": 0})
+
+    def test_fires_at_exact_occurrence_and_only_once(self):
+        plan = FaultPlan.single("gc.mark", occurrence=2)
+        plan.reached("gc.mark")  # occurrence 1: armed at 2, no fire
+        with pytest.raises(SimulatedCrash) as exc:
+            plan.reached("gc.mark", round_index=7)
+        assert exc.value.point == "gc.mark"
+        assert exc.value.occurrence == 2
+        assert exc.value.context["round_index"] == 7
+        assert plan.fired is not None and plan.fired.point == "gc.mark"
+        # After firing the plan only counts — recovery must not re-crash.
+        plan.reached("gc.mark")
+        assert plan.hits["gc.mark"] == 3
+
+    def test_unarmed_points_are_counted_not_fired(self):
+        plan = FaultPlan.single("sweep.delete")
+        plan.reached("gc.mark")
+        plan.reached("gc.mark")
+        assert plan.hits == {"gc.mark": 2}
+        assert plan.fired is None
+
+    def test_seeded_is_deterministic_and_in_range(self):
+        for seed in range(20):
+            first, second = FaultPlan.seeded(seed), FaultPlan.seeded(seed)
+            assert first.arms == second.arms
+            ((point, occurrence),) = first.arms.items()
+            assert point in CRASH_POINTS
+            assert 1 <= occurrence <= 4
+
+    def test_points_for_covers_every_point(self):
+        reachable = set()
+        for approach in ("naive", "capping", "gccdf", "mfdedup"):
+            assert set(points_for(approach)) <= set(CRASH_POINTS)
+            reachable |= set(points_for(approach))
+        assert reachable == set(CRASH_POINTS)
+        assert points_for("naive") == CONTAINER_POINTS
+
+
+class TestIntentJournal:
+    def test_lifecycle_and_truncation(self):
+        journal = IntentJournal()
+        record = journal.begin("container.write", container_id=3)
+        assert len(journal) == 1
+        assert journal.open_records("container.write") == [record]
+        journal.commit(record)
+        assert journal.committed_records() == [record]
+        journal.close(record)
+        assert len(journal) == 0
+        assert (journal.begun, journal.closed, journal.aborted) == (1, 1, 0)
+
+    def test_abort_truncates_open_intent(self):
+        journal = IntentJournal()
+        record = journal.begin("copyforward", moves=[])
+        journal.abort(record)
+        assert len(journal) == 0
+        assert journal.aborted == 1
+
+    def test_invalid_transitions_raise(self):
+        journal = IntentJournal()
+        record = journal.begin("reclaim")
+        with pytest.raises(JournalError):
+            journal.close(record)  # close before commit
+        journal.commit(record)
+        with pytest.raises(JournalError):
+            journal.commit(record)  # double commit
+        with pytest.raises(JournalError):
+            journal.abort(record)  # abort a committed intent
+        journal.close(record)
+        with pytest.raises(JournalError):
+            journal.close(record)  # close a truncated record
+
+    def test_payload_mutable_until_commit(self):
+        journal = IntentJournal()
+        record = journal.begin("copyforward", destination=9, moves=[])
+        record.payload["moves"].append({"fp": b"x", "source": 1, "size": 512})
+        assert journal.open_records("copyforward")[0].payload["moves"]
+
+    def test_records_kept_in_begin_order(self):
+        journal = IntentJournal()
+        first = journal.begin("sweep", round_index=0)
+        second = journal.begin("reclaim", container_id=5)
+        assert journal.records() == [first, second]
+        assert journal.records(kind="reclaim") == [second]
+
+
+class TestCrashRecoveryMatrix:
+    """Crash at every reachable point, recover, verify — then keep going."""
+
+    @pytest.mark.parametrize(
+        "approach,point",
+        [
+            (approach, point)
+            for approach in MATRIX_APPROACHES
+            for point in points_for(approach)
+        ],
+    )
+    @pytest.mark.parametrize("occurrence", [1, 2])
+    def test_crash_recover_verify(self, approach, point, occurrence):
+        plan = FaultPlan.single(point, occurrence=occurrence)
+        config = SystemConfig.scaled(retained=10, turnover=3)
+        service = make_service(approach, config, faults=plan)
+        driver = RotationDriver(service, config.retention, dataset_name=DATASET)
+        with pytest.raises(SimulatedCrash):
+            driver.run(dataset(DATASET, scale=0.1, num_backups=16))
+
+        report = recover_service(service)
+        verification = verify_service(service)
+        assert verification.errors == [], verification.errors[:3]
+        assert report.rolled_back + report.replayed >= 0  # report is well formed
+
+        # The survived system keeps working: every live backup restores,
+        # another GC round runs, and the verifier stays clean.
+        for backup_id in service.live_backup_ids():
+            service.restore(backup_id)
+        service.run_gc()
+        assert verify_service(service).errors == []
+        assert len(live_journal(service)) == 0
+
+    def test_rewriting_approach_recovers_too(self):
+        plan = FaultPlan.single("sweep.repoint")
+        config = SystemConfig.scaled(retained=10, turnover=3)
+        service = make_service("capping", config, faults=plan)
+        driver = RotationDriver(service, config.retention, dataset_name=DATASET)
+        with pytest.raises(SimulatedCrash):
+            driver.run(dataset(DATASET, scale=0.1, num_backups=16))
+        recover_service(service)
+        assert verify_service(service).errors == []
+
+    def test_service_recover_method_matches_function(self):
+        plan = FaultPlan.single("sweep.delete")
+        config = SystemConfig.scaled(retained=10, turnover=3)
+        service = make_service("gccdf", config, faults=plan)
+        driver = RotationDriver(service, config.retention, dataset_name=DATASET)
+        with pytest.raises(SimulatedCrash):
+            driver.run(dataset(DATASET, scale=0.1, num_backups=16))
+        report = service.recover()
+        assert report.replayed >= 1  # the deletion rolls forward
+        assert verify_service(service).errors == []
+
+
+class TestUnfaultedRuns:
+    def test_journal_empty_after_clean_run(self):
+        service = run_protocol("gccdf")
+        journal = live_journal(service)
+        assert len(journal) == 0
+        assert journal.begun == journal.closed + journal.aborted
+
+    def test_recover_clean_service_is_noop(self):
+        service = run_protocol("naive")
+        report = recover_service(service)
+        assert report.clean
+        assert report.actions == []
+        assert verify_service(service).errors == []

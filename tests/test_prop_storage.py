@@ -2,7 +2,11 @@
 
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import SimulatedCrash
+from repro.faults import FaultPlan, recover
 from repro.hashing.fingerprints import synthetic_fingerprint
+from repro.index.fingerprint_index import FingerprintIndex
+from repro.index.recipe import RecipeStore
 from repro.model import ChunkRef
 from repro.simio.disk import DiskModel
 from repro.storage.store import ContainerStore
@@ -55,6 +59,35 @@ def test_stream_order_preserved_within_and_across_containers(sizes):
     store, placements = write_all(sizes)
     replayed = [entry.fp for container in store.containers() for entry in container]
     assert replayed == [ref.fp for ref, _ in placements]
+
+
+@given(chunk_sizes, st.integers(min_value=1, max_value=6))
+@settings(max_examples=60)
+def test_torn_write_recovery_keeps_durable_prefix(sizes, occurrence):
+    """Arm a torn container write at an arbitrary commit: after recovery
+    the store holds exactly the durable prefix of the append order, every
+    retained container is intact, and the journal is empty."""
+    disk = DiskModel(faults=FaultPlan.single("store.commit.torn", occurrence))
+    store = ContainerStore(capacity=CAPACITY, disk=disk)
+    writer = ContainerWriter(store)
+    appended = []
+    crashed = False
+    try:
+        for index, size in enumerate(sizes):
+            ref = ChunkRef(fp=synthetic_fingerprint("pf", index), size=size)
+            writer.append(ref)
+            appended.append(ref)
+        writer.flush()
+    except SimulatedCrash:
+        crashed = True
+        recover(store, FingerprintIndex(), RecipeStore())
+
+    assert len(store.journal) == 0
+    replayed = [entry.fp for container in store.containers() for entry in container]
+    assert replayed == [ref.fp for ref in appended[: len(replayed)]]
+    assert all(c.used_bytes <= CAPACITY for c in store.containers())
+    if not crashed:
+        assert replayed == [ref.fp for ref in appended]
 
 
 @given(chunk_sizes)

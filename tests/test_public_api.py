@@ -42,6 +42,7 @@ SUBPACKAGES = [
     "repro.restore",
     "repro.gc",
     "repro.core",
+    "repro.faults",
     "repro.mfdedup",
     "repro.workloads",
     "repro.backup",

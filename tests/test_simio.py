@@ -40,19 +40,45 @@ class TestDiskModel:
     def test_snapshot_isolated_from_future_ops(self):
         disk = DiskModel()
         disk.read(100)
-        snap = disk.snapshot()
+        with pytest.warns(DeprecationWarning):
+            snap = disk.snapshot()
         disk.read(100)
         assert snap.read_ops == 1
         assert disk.stats.read_ops == 2
 
 
+class TestPhaseScope:
+    def test_reentering_active_scope_raises(self):
+        disk = DiskModel()
+        scope = disk.phase("ingest")
+        with scope:
+            with pytest.raises(RuntimeError, match="already active"):
+                scope.__enter__()
+
+    def test_reusing_exhausted_scope_raises(self):
+        disk = DiskModel()
+        scope = disk.phase("ingest")
+        with scope:
+            pass
+        with pytest.raises(RuntimeError, match="cannot be reused"):
+            scope.__enter__()
+
+    def test_exit_without_enter_raises(self):
+        disk = DiskModel()
+        scope = disk.phase("ingest")
+        with pytest.raises(RuntimeError, match="without being entered"):
+            scope.__exit__(None, None, None)
+
+
 class TestIOStats:
     def test_since_diffs_all_fields(self):
         disk = DiskModel(DiskConfig(bandwidth=1000.0, seek_time=0.0))
-        before = disk.snapshot()
+        with pytest.warns(DeprecationWarning):
+            before = disk.snapshot()
         disk.read(500)
         disk.write(250)
-        delta = disk.snapshot().since(before)
+        with pytest.warns(DeprecationWarning):
+            delta = disk.snapshot().since(before)
         assert delta.read_bytes == 500
         assert delta.write_bytes == 250
         assert delta.read_seconds == pytest.approx(0.5)

@@ -214,6 +214,27 @@ class TestContainerCache:
         cache.invalidate(cid)
         assert cid not in cache
 
+    def test_store_deletion_invalidates_registered_caches(self, store):
+        ids = self._committed(store, 2)
+        cache = ContainerCache(store, capacity=4)
+        other = ContainerCache(store, capacity=4)
+        cache.get(ids[0])
+        other.get(ids[0])
+        store.delete_container(ids[0])
+        assert ids[0] not in cache
+        assert ids[0] not in other
+        with pytest.raises(UnknownContainerError):
+            cache.get(ids[0])
+
+    def test_store_discard_invalidates_registered_caches(self, store):
+        (cid,) = self._committed(store, 1)
+        cache = ContainerCache(store, capacity=4)
+        cache.get(cid)
+        store.discard_container(cid)
+        assert cid not in cache
+        # Discard is idempotent: a second call is a no-op.
+        store.discard_container(cid)
+
     def test_hit_rate(self, store):
         (cid,) = self._committed(store, 1)
         cache = ContainerCache(store, capacity=2)
