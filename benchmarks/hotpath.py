@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Hot-path microbench suite — thin wrapper over :mod:`repro.bench`.
+
+Equivalent to the ``repro-bench`` console script::
+
+    PYTHONPATH=src python benchmarks/hotpath.py --scale quick
+
+Times ingest / GC mark / restore on the columnar engine versus the legacy
+tuple-recipe path and writes ``benchmarks/results/BENCH_hotpath.json``
+(see docs/performance.md for how to read it).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,8 @@ from repro.faults import (
     recover_service,
 )
 from repro.gc import MarkSweepGC, NaiveMigration
+from repro.index.columnar import ColumnarRecipe
+from repro.index.interning import FingerprintInterner
 from repro.mfdedup import MFDedupService
 from repro.obs import (
     NULL_TRACER,
@@ -97,6 +99,8 @@ __all__ = [
     "GCCDFMigration",
     "MarkSweepGC",
     "NaiveMigration",
+    "ColumnarRecipe",
+    "FingerprintInterner",
     "MFDedupService",
     "Tracer",
     "NullTracer",

@@ -15,6 +15,8 @@ mfdedup     MFDedup engine (neighbor dedup, volumes, deletion-only GC)
 
 from __future__ import annotations
 
+import os
+
 from repro.backup.service import BackupService
 from repro.backup.system import DedupBackupService
 from repro.config import SystemConfig
@@ -35,6 +37,7 @@ def make_service(
     seed: int = 0,
     tracer: Tracer | None = None,
     faults: FaultPlan | None = None,
+    columnar: bool | None = None,
     **policy_kwargs,
 ) -> BackupService:
     """Build a backup service for one approach.
@@ -46,10 +49,16 @@ def make_service(
     unmeasurable overhead).  ``faults`` arms a
     :class:`~repro.faults.FaultPlan` on the service's disk — the run then
     raises :class:`~repro.errors.SimulatedCrash` at the armed point, after
-    which ``service.recover()`` repairs the system.
+    which ``service.recover()`` repairs the system.  ``columnar`` selects
+    the recipe representation (interned id/size columns versus the legacy
+    ``ChunkRef`` tuples — outputs are identical; only speed differs);
+    ``None`` defers to the ``REPRO_HOTPATH`` environment variable
+    (``legacy`` forces the tuple path, anything else the default columns).
     """
     config = config or SystemConfig.scaled()
-    service = _build_service(approach, config, seed, tracer, **policy_kwargs)
+    if columnar is None:
+        columnar = os.environ.get("REPRO_HOTPATH", "").lower() != "legacy"
+    service = _build_service(approach, config, seed, tracer, columnar, **policy_kwargs)
     if faults is not None:
         service.disk.faults = faults
     return service
@@ -60,10 +69,11 @@ def _build_service(
     config: SystemConfig,
     seed: int,
     tracer: Tracer | None,
+    columnar: bool,
     **policy_kwargs,
 ) -> BackupService:
     if approach == "mfdedup":
-        return MFDedupService(config=config, tracer=tracer)
+        return MFDedupService(config=config, tracer=tracer, columnar=columnar)
     if approach == "nondedup":
         return DedupBackupService(
             config=config,
@@ -71,6 +81,7 @@ def _build_service(
             migration=NaiveMigration(),
             name="nondedup",
             tracer=tracer,
+            columnar=columnar,
         )
     if approach == "gccdf":
         return DedupBackupService(
@@ -78,6 +89,7 @@ def _build_service(
             migration=GCCDFMigration(seed=seed),
             name="gccdf",
             tracer=tracer,
+            columnar=columnar,
         )
     if approach in ("naive", "capping", "har", "smr"):
         service = DedupBackupService(
@@ -85,6 +97,7 @@ def _build_service(
             migration=NaiveMigration(),
             name=approach,
             tracer=tracer,
+            columnar=columnar,
         )
         if approach != "naive":
             service.pipeline.rewriting = make_rewriting(

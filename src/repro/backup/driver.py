@@ -177,5 +177,7 @@ class RotationDriver:
         result.physical_bytes = stats.physical_bytes
         result.cumulative_logical_bytes = stats.cumulative_logical_bytes
         result.cumulative_stored_bytes = stats.cumulative_stored_bytes
-        result.metrics = rotation_metrics(result, stats)
+        result.metrics = rotation_metrics(
+            result, stats, runtime=self.service.runtime_metrics()
+        )
         return result

@@ -90,6 +90,12 @@ class BackupService(ABC):
     def stats(self) -> ServiceStats:
         """The service's whole-run space accounting (one snapshot)."""
 
+    def runtime_metrics(self) -> dict[str, int | float]:
+        """Hot-path execution counters (index probes, guard skip rates…)
+        merged into the run's metrics payload under ``runtime.*``.
+        Approaches without such counters return the default empty dict."""
+        return {}
+
     # ------------------------------------------------------------------
     # Deprecated accounting shims (use :meth:`stats` instead).
     # ------------------------------------------------------------------

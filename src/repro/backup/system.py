@@ -47,6 +47,7 @@ class DedupBackupService(BackupService):
         dedup_enabled: bool = True,
         name: str = "naive",
         tracer: Tracer | None = None,
+        columnar: bool = True,
     ):
         self.config = config or SystemConfig.scaled()
         self.config.validate()
@@ -55,7 +56,10 @@ class DedupBackupService(BackupService):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.disk = DiskModel(self.config.disk, tracer=self.tracer)
         self.store = ContainerStore(self.config.container_size, self.disk)
-        self.index = FingerprintIndex()
+        # The Bloom negative-lookup guard fronts duplicate-detection probes;
+        # it never changes a lookup's result (no false negatives), only
+        # skips map accesses for keys that were never inserted.
+        self.index = FingerprintIndex(negative_guard=True)
         self.recipes = RecipeStore()
         self.pipeline = IngestPipeline(
             store=self.store,
@@ -63,6 +67,7 @@ class DedupBackupService(BackupService):
             recipes=self.recipes,
             rewriting=rewriting,
             dedup_enabled=dedup_enabled,
+            columnar=columnar,
         )
         self.restorer = RestoreEngine(
             store=self.store,
@@ -124,6 +129,21 @@ class DedupBackupService(BackupService):
             cumulative_stored_bytes=self._cumulative_stored,
             physical_bytes=self.store.stored_bytes,
         )
+
+    def runtime_metrics(self) -> dict[str, int | float]:
+        """Hot-path execution counters (index probes, Bloom-guard skip
+        rate, interner population) for the run's metrics payload."""
+        index = self.index
+        metrics: dict[str, int | float] = {
+            "index.lookups": index.lookups,
+            "index.hits": index.hits,
+            "interner.chunks": len(self.recipes.interner),
+        }
+        if index.guard_enabled:
+            metrics["index.guard_probes"] = index.guard_probes
+            metrics["index.guard_skips"] = index.guard_skips
+            metrics["index.guard_skip_rate"] = index.guard_skip_rate
+        return metrics
 
     # ------------------------------------------------------------------
     # Introspection helpers used by examples and tests

@@ -1,0 +1,265 @@
+"""``repro-bench`` — hot-path microbenchmarks: ingest, GC mark, restore.
+
+Times the three per-chunk-occurrence hot loops twice — once on the columnar
+engine (interned ids, ``array('q')`` recipes, batched kernels) and once on
+the legacy tuple-of-``ChunkRef`` path (``columnar=False``) — over the same
+pre-materialised workload, and writes the comparison to
+``benchmarks/results/BENCH_hotpath.json``:
+
+* **ingest** — run every backup of the workload through ``service.ingest``
+  (duplicate-majority streams; this is where interning pays);
+* **mark** — delete the ``turnover`` oldest backups, then run the GC mark
+  stage repeatedly (mark is read-only, so repeats measure the same work);
+* **restore** — restore every live backup through the engine's cache path.
+
+Both representations produce byte-identical accounting (asserted here on
+every run — the benchmark doubles as an A/B equivalence check); only wall
+time may differ.  The CI ``bench-smoke`` job gates on the ingest speedup
+and reports mark/restore, and the acceptance bar for the columnar engine
+is ≥ 2× on combined ingest+mark at medium scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.driver import BackupSpec
+from repro.backup.service import BackupService
+from repro.experiments.common import SCALES, get_scale
+from repro.gc.mark import MarkStage
+from repro.workloads.datasets import DATASET_NAMES, dataset
+
+#: Default location of the written comparison (CI uploads it from here).
+DEFAULT_OUT = pathlib.Path("benchmarks/results/BENCH_hotpath.json")
+
+#: Approaches timed by default: the dedup-majority fast path (naive) and
+#: one rewriting policy exercising the general columnar path (capping).
+DEFAULT_APPROACHES = ("naive", "capping")
+
+
+def _build_service(approach: str, scale, columnar: bool) -> BackupService:
+    return make_service(approach, scale.config(), columnar=columnar)
+
+
+def _bench_ingest(
+    approach: str, scale, columnar: bool, backups: list[BackupSpec], repeats: int
+) -> tuple[float, BackupService]:
+    """Best-of-``repeats`` full ingest passes, each on a fresh service.
+
+    Per-pass wall time is ``min`` over repeats — the standard microbench
+    estimator, since scheduler noise only ever *adds* time.  The service
+    from the last pass (they are all identical) carries the post-ingest
+    state forward to the mark/restore benches.
+    """
+    best = float("inf")
+    service: BackupService | None = None
+    for _ in range(max(1, repeats)):
+        service = _build_service(approach, scale, columnar)
+        started = time.perf_counter()
+        for spec in backups:
+            service.ingest(spec.chunks, source=spec.source)
+        best = min(best, time.perf_counter() - started)
+    assert service is not None
+    return best, service
+
+
+def _bench_mark(service: BackupService, turnover: int, repeats: int) -> float:
+    """Time the mark stage over a realistic deleted/live split.
+
+    Marks run against the service's post-ingest state with the oldest
+    ``turnover`` backups logically deleted — the §6.1 shape of a GC round.
+    Mark mutates nothing (the simulated clock and probe counters advance,
+    which wall time ignores), so repeats time identical work; the reported
+    figure is the best single run.
+    """
+    service.delete_oldest(turnover)
+    stage = MarkStage(
+        config=service.config,
+        index=service.index,
+        recipes=service.recipes,
+        disk=service.disk,
+    )
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        stage.run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_restore(service: BackupService, repeats: int) -> float:
+    """Best single pass restoring every live backup (restore is read-only)."""
+    live = service.live_backup_ids()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        for backup_id in live:
+            service.restore(backup_id)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _stage(columnar_seconds: float, legacy_seconds: float) -> dict:
+    return {
+        "columnar_seconds": columnar_seconds,
+        "legacy_seconds": legacy_seconds,
+        "speedup": legacy_seconds / columnar_seconds if columnar_seconds else 0.0,
+    }
+
+
+def bench_approach(
+    approach: str,
+    scale,
+    backups: list[BackupSpec],
+    repeats: int,
+    emit=print,
+) -> dict:
+    """Time ingest/mark/restore on both representations for one approach."""
+    timings: dict[str, dict[str, float]] = {}
+    services: dict[bool, BackupService] = {}
+    for columnar in (True, False):
+        label = "columnar" if columnar else "legacy"
+        ingest_seconds, service = _bench_ingest(
+            approach, scale, columnar, backups, repeats
+        )
+        services[columnar] = service
+        timings[label] = {
+            "ingest": ingest_seconds,
+            "mark": _bench_mark(service, scale.turnover, repeats),
+            "restore": _bench_restore(service, repeats),
+        }
+        emit(
+            f"  {approach}/{label}: "
+            + ", ".join(f"{k} {v:.3f}s" for k, v in timings[label].items())
+        )
+
+    # The representations must be indistinguishable in what they computed —
+    # the benchmark is only meaningful if both paths did the same work.
+    stats_columnar = services[True].stats()
+    stats_legacy = services[False].stats()
+    if stats_columnar != stats_legacy:
+        raise AssertionError(
+            f"{approach}: columnar/legacy accounting diverged: "
+            f"{stats_columnar} vs {stats_legacy}"
+        )
+
+    col, leg = timings["columnar"], timings["legacy"]
+    ingest_mark_columnar = col["ingest"] + col["mark"]
+    ingest_mark_legacy = leg["ingest"] + leg["mark"]
+    return {
+        "ingest": _stage(col["ingest"], leg["ingest"]),
+        "mark": _stage(col["mark"], leg["mark"]),
+        "restore": _stage(col["restore"], leg["restore"]),
+        "ingest_mark_speedup": (
+            ingest_mark_legacy / ingest_mark_columnar if ingest_mark_columnar else 0.0
+        ),
+    }
+
+
+def run_bench(
+    scale_name: str,
+    approaches=DEFAULT_APPROACHES,
+    dataset_name: str = "mix",
+    repeats: int = 3,
+    emit=print,
+) -> dict:
+    scale = get_scale(scale_name)
+    # Materialise the workload once, outside every timed region, so stream
+    # generation cost (identical for both paths) never pollutes timings.
+    backups = list(
+        dataset(
+            dataset_name,
+            scale=scale.workload_scale,
+            num_backups=scale.num_backups(dataset_name),
+        )
+    )[: scale.retained]
+    emit(
+        f"hotpath bench: scale={scale.name}, dataset={dataset_name}, "
+        f"{len(backups)} backups, best of {repeats}"
+    )
+    results = {
+        approach: bench_approach(approach, scale, backups, repeats, emit=emit)
+        for approach in approaches
+    }
+    # The headline acceptance metric is the default-pipeline microbench:
+    # the ingest+mark speedup on the decision-free (NullRewriting) path the
+    # columnar engine targets — ``naive`` when benched, else the first
+    # approach.  Policy-bearing approaches (capping/har/smr) share their
+    # per-entry policy cost between both representations, so their ratios
+    # are structurally smaller and reported per approach.
+    primary = "naive" if "naive" in results else next(iter(results))
+    return {
+        "scale": scale.name,
+        "dataset": dataset_name,
+        "backups": len(backups),
+        "repeats": repeats,
+        "approaches": results,
+        "headline": {
+            "approach": primary,
+            "ingest_mark_speedup": results[primary]["ingest_mark_speedup"],
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Hot-path microbenchmarks: columnar engine vs legacy path.",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="quick", help="experiment scale"
+    )
+    parser.add_argument(
+        "--dataset", choices=DATASET_NAMES, default="mix", help="dataset preset"
+    )
+    parser.add_argument(
+        "--approaches",
+        default=",".join(DEFAULT_APPROACHES),
+        help="comma-separated approaches to time",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions per stage (best-of)"
+    )
+    parser.add_argument(
+        "--out", default=str(DEFAULT_OUT), help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    approaches = tuple(name.strip() for name in args.approaches.split(",") if name.strip())
+    for name in approaches:
+        if name not in APPROACHES:
+            raise SystemExit(f"unknown approach {name!r}; choose from {APPROACHES}")
+
+    payload = run_bench(
+        args.scale,
+        approaches=approaches,
+        dataset_name=args.dataset,
+        repeats=args.repeats,
+    )
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    for approach, stages in payload["approaches"].items():
+        print(
+            f"{approach}: ingest ×{stages['ingest']['speedup']:.2f}, "
+            f"mark ×{stages['mark']['speedup']:.2f}, "
+            f"restore ×{stages['restore']['speedup']:.2f}, "
+            f"ingest+mark ×{stages['ingest_mark_speedup']:.2f}"
+        )
+    headline = payload["headline"]
+    print(
+        f"headline ({headline['approach']}): "
+        f"ingest+mark ×{headline['ingest_mark_speedup']:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,15 +61,16 @@ class ReferenceChecker:
         self.filters_built += 1
         self.build_ops += recipe.num_chunks
         if self.config.exact_reference_check:
-            keys = {entry.fp for entry in recipe.entries}
-            return keys.__contains__
+            return recipe.unique_fingerprints().__contains__
         bloom = BloomFilter(
             capacity=max(1, recipe.num_chunks),
             fp_rate=self.config.bloom_fp_rate,
             salt=b"recipe" + backup_id.to_bytes(8, "big"),
         )
-        for entry in recipe.entries:
-            bloom.add(entry.fp)
+        # fingerprints() resolves columnar recipes through the interner's
+        # flat id → key table; same keys, same order, on either
+        # representation (filter bits are therefore identical too).
+        bloom.update(recipe.fingerprints())
         return bloom.__contains__
 
     def membership(self, backup_id: int) -> Callable[[bytes], bool]:

@@ -30,13 +30,16 @@ class LogicalIndex:
         """Return the live current copy of ``fp``, or None.
 
         A hit whose storage key the physical index no longer holds (the copy
-        was garbage-collected) is dropped and reported as a miss.
+        was garbage-collected) is dropped and reported as a miss.  The
+        physical probe uses :meth:`~repro.index.fingerprint_index.
+        FingerprintIndex.validate` — the key is almost always present, so
+        the negative-lookup guard would be pure overhead here.
         """
         self.lookups += 1
         key = self._current.get(fp)
         if key is None:
             return None
-        placement = self._physical.lookup(key)
+        placement = self._physical.validate(key)
         if placement is None:
             del self._current[fp]
             return None
@@ -51,6 +54,16 @@ class LogicalIndex:
         key = storage_key(fp, generation)
         self._current[fp] = key
         return key
+
+    def current_map(self) -> dict[bytes, bytes]:
+        """The live fp → current-storage-key dict.
+
+        Exposed for the batched ingest kernel, which fuses the probe /
+        validate / invalidate sequence of :meth:`lookup` into one loop with
+        C-level dict access; callers must mirror that exact semantics
+        (including counter updates) when touching the map directly.
+        """
+        return self._current
 
     def __len__(self) -> int:
         return len(self._current)

@@ -13,15 +13,33 @@
 
 Setting ``dedup_enabled=False`` makes every occurrence a fresh copy — the
 Non-dedup baseline of §3.1 — through the same code path.
+
+Two representations, one semantics
+----------------------------------
+
+With ``columnar=True`` (the default) recipes are built as
+:class:`~repro.index.columnar.ColumnarRecipe` id/size columns, and streams
+that need no rewriting decisions (``NullRewriting`` — Naïve, GCCDF,
+Non-dedup) take a fused batched kernel: the duplicate majority of the
+stream is classified with two C-level dict probes and two array appends per
+chunk, materialising no ``IngestEntry``/``ChunkRef`` objects and paying no
+policy calls.  Chunks that miss (or arrive with a rewriting policy
+installed) flow through the same step sequence as the legacy path, so
+container contents, simulated I/O order, crash points, and every counter
+are bit-identical between representations.  ``columnar=False`` keeps the
+original tuple-of-``ChunkRef`` pipeline callable for benchmarking
+(``repro-bench``) and A/B verification.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import asdict, dataclass
 from typing import Iterable, Union
 
 from repro.dedup.logical_index import LogicalIndex
 from repro.dedup.rewriting.base import IngestEntry, NullRewriting, RewritingPolicy
+from repro.index.columnar import ColumnarRecipe
 from repro.index.fingerprint_index import FingerprintIndex
 from repro.index.recipe import Recipe, RecipeStore
 from repro.model import Chunk, ChunkRef
@@ -64,12 +82,14 @@ class IngestPipeline:
         recipes: RecipeStore,
         rewriting: RewritingPolicy | None = None,
         dedup_enabled: bool = True,
+        columnar: bool = True,
     ):
         self.store = store
         self.index = index
         self.recipes = recipes
         self.rewriting = rewriting or NullRewriting()
         self.dedup_enabled = dedup_enabled
+        self.columnar = columnar
         self.logical = LogicalIndex(index)
 
     def ingest(
@@ -78,6 +98,21 @@ class IngestPipeline:
         source: str = "",
     ) -> IngestResult:
         """Deduplicate and store one backup; returns its accounting."""
+        if self.columnar:
+            # The fused kernel assumes the policy is a decision-free
+            # pass-through (exact type check: subclasses may override hooks).
+            if type(self.rewriting) is NullRewriting:
+                return self._ingest_batched(stream, source)
+            return self._ingest_columnar_policy(stream, source)
+        return self._ingest_legacy(stream, source)
+
+    # ------------------------------------------------------------------
+    # Legacy path: tuple-of-ChunkRef recipes (the pre-columnar pipeline)
+    # ------------------------------------------------------------------
+
+    def _ingest_legacy(
+        self, stream: Iterable[Union[Chunk, ChunkRef]], source: str
+    ) -> IngestResult:
         backup_id = self.recipes.new_backup_id()
         self.rewriting.begin_backup(backup_id)
         writer = ContainerWriter(self.store)
@@ -146,5 +181,263 @@ class IngestPipeline:
             stored_bytes=stored_bytes,
             dedup_bytes=dedup_bytes,
             rewritten_bytes=rewritten_bytes,
+            containers_written=len(containers),
+        )
+
+    # ------------------------------------------------------------------
+    # Columnar path with a rewriting policy: per-entry decisions over
+    # interned id/size columns
+    # ------------------------------------------------------------------
+
+    def _ingest_columnar_policy(
+        self, stream: Iterable[Union[Chunk, ChunkRef]], source: str
+    ) -> IngestResult:
+        """Policy-bearing ingest onto a columnar recipe.
+
+        The policy still sees one :class:`IngestEntry` per chunk — buffered
+        segment decisions (Capping/HAR/SMR) need the full entry — but the
+        duplicate probe is the fused ``current``/``placements`` dict pair
+        with bulk-flushed statistics (as in :meth:`_ingest_batched`), and
+        accepted entries append interned ids instead of ``ChunkRef``s,
+        which only the miss/rewrite minority materialises.
+        """
+        backup_id = self.recipes.new_backup_id()
+        self.rewriting.begin_backup(backup_id)
+        writer = ContainerWriter(self.store)
+
+        ids = array("q")
+        sizes = array("q")
+        ids_append = ids.append
+        sizes_append = sizes.append
+        intern = self.recipes.interner.intern
+        interned_get = self.recipes.interner.id_map().get
+
+        index = self.index
+        logical = self.logical
+        current = logical.current_map()
+        current_get = current.get
+        placements_get = index.placements_map().get
+        new_key = logical.new_key
+        insert = index.insert
+        writer_append = writer.append
+        feed = self.rewriting.feed
+        chunk_type = Chunk
+        dedup_enabled = self.dedup_enabled
+
+        logical_bytes = 0
+        stored_bytes = 0
+        dedup_bytes = 0
+        rewritten_bytes = 0
+        # Probe statistics, flushed to the index objects after the loop
+        # (bulk adds of the exact per-probe increments the legacy path makes).
+        log_lookups = 0
+        log_hits = 0
+        phys_probes = 0
+        phys_hits = 0
+
+        def write_entry(entry: IngestEntry) -> None:
+            nonlocal stored_bytes, dedup_bytes, rewritten_bytes
+            if entry.duplicate and not entry.rewrite:
+                assert entry.existing_key is not None
+                ids_append(intern(entry.existing_key))
+                sizes_append(entry.size)
+                dedup_bytes += entry.size
+                return
+            key = new_key(entry.fp)
+            container_id = writer_append(ChunkRef(fp=key, size=entry.size), entry.payload)
+            insert(key, container_id, entry.size)
+            ids_append(intern(key))
+            sizes_append(entry.size)
+            stored_bytes += entry.size
+            if entry.duplicate:
+                rewritten_bytes += entry.size
+
+        with self.store.disk.phase("ingest") as ph:
+            for item in stream:
+                if isinstance(item, chunk_type):
+                    fp, size, payload = item.fp, item.size, item.data
+                else:
+                    fp, size, payload = item.fp, item.size, None
+                logical_bytes += size
+                entry = IngestEntry(fp=fp, size=size, payload=payload)
+                if dedup_enabled:
+                    log_lookups += 1
+                    key = current_get(fp)
+                    if key is not None:
+                        phys_probes += 1
+                        placement = placements_get(key)
+                        if placement is not None:
+                            phys_hits += 1
+                            log_hits += 1
+                            # A copy sitting in the still-open container cannot
+                            # be fragmented away from this stream; treat normally.
+                            entry.duplicate = True
+                            entry.existing_key = key
+                            entry.container_id = placement.container_id
+                        else:
+                            # Stale entry: the copy was reclaimed — drop it
+                            # (exactly what LogicalIndex.lookup does).
+                            del current[fp]
+                for decided in feed(entry):
+                    # Accepted duplicates are the stream majority: record
+                    # them inline with a bare intern-dict probe; the
+                    # miss/rewrite minority takes the full write path.
+                    if decided.duplicate and not decided.rewrite:
+                        existing = decided.existing_key
+                        chunk_id = interned_get(existing)
+                        ids_append(
+                            intern(existing) if chunk_id is None else chunk_id
+                        )
+                        sizes_append(decided.size)
+                        dedup_bytes += decided.size
+                    else:
+                        write_entry(decided)
+
+            for decided in self.rewriting.flush():
+                write_entry(decided)
+            containers = writer.flush()
+            self.rewriting.end_backup()
+            ph.annotate(
+                backup_id=backup_id,
+                logical_bytes=logical_bytes,
+                stored_bytes=stored_bytes,
+                dedup_bytes=dedup_bytes,
+                rewritten_bytes=rewritten_bytes,
+                containers_written=len(containers),
+            )
+
+        logical.lookups += log_lookups
+        logical.hits += log_hits
+        index.lookups += phys_probes
+        index.hits += phys_hits
+
+        recipe = ColumnarRecipe(
+            backup_id=backup_id,
+            interner=self.recipes.interner,
+            chunk_ids=ids,
+            chunk_sizes=sizes,
+            source=source,
+        )
+        self.recipes.add(recipe)
+        return IngestResult(
+            backup_id=backup_id,
+            logical_bytes=logical_bytes,
+            num_chunks=len(ids),
+            stored_bytes=stored_bytes,
+            dedup_bytes=dedup_bytes,
+            rewritten_bytes=rewritten_bytes,
+            containers_written=len(containers),
+        )
+
+    # ------------------------------------------------------------------
+    # Batched path: decision-free streams onto columnar recipes
+    # ------------------------------------------------------------------
+
+    def _ingest_batched(
+        self, stream: Iterable[Union[Chunk, ChunkRef]], source: str
+    ) -> IngestResult:
+        """Fused classify/record kernel for ``NullRewriting`` streams.
+
+        Replicates ``_ingest_general`` step for step — same probe order,
+        same write order, same counters — but hoists every per-chunk
+        attribute lookup and method call out of the loop and batches the
+        index-statistics updates, so the duplicate majority costs two dict
+        probes and two array appends per occurrence.
+        """
+        backup_id = self.recipes.new_backup_id()
+        self.rewriting.begin_backup(backup_id)
+        writer = ContainerWriter(self.store)
+
+        ids = array("q")
+        sizes = array("q")
+        ids_append = ids.append
+        sizes_append = sizes.append
+        intern = self.recipes.interner.intern
+
+        index = self.index
+        logical = self.logical
+        current = logical.current_map()
+        current_get = current.get
+        placements = index.placements_map()
+        placements_get = placements.get
+        new_key = logical.new_key
+        insert = index.insert
+        writer_append = writer.append
+        chunk_type = Chunk
+        dedup_enabled = self.dedup_enabled
+
+        logical_bytes = 0
+        stored_bytes = 0
+        dedup_bytes = 0
+        # Probe statistics, flushed to the index objects after the loop
+        # (bulk adds of the exact per-probe increments the general path makes).
+        log_lookups = 0
+        log_hits = 0
+        phys_probes = 0
+        phys_hits = 0
+
+        with self.store.disk.phase("ingest") as ph:
+            for item in stream:
+                if isinstance(item, chunk_type):
+                    fp, size, payload = item.fp, item.size, item.data
+                else:
+                    fp, size, payload = item.fp, item.size, None
+                logical_bytes += size
+                if dedup_enabled:
+                    log_lookups += 1
+                    key = current_get(fp)
+                    if key is not None:
+                        phys_probes += 1
+                        if placements_get(key) is not None:
+                            # Duplicate: reference the live current copy.
+                            phys_hits += 1
+                            log_hits += 1
+                            ids_append(intern(key))
+                            sizes_append(size)
+                            dedup_bytes += size
+                            continue
+                        # Stale entry: the copy was reclaimed — drop it and
+                        # fall through to the miss path (exactly what
+                        # LogicalIndex.lookup does).
+                        del current[fp]
+                # Miss (or dedup disabled): store a fresh copy.
+                key = new_key(fp)
+                container_id = writer_append(ChunkRef(fp=key, size=size), payload)
+                insert(key, container_id, size)
+                ids_append(intern(key))
+                sizes_append(size)
+                stored_bytes += size
+
+            containers = writer.flush()
+            self.rewriting.end_backup()
+            ph.annotate(
+                backup_id=backup_id,
+                logical_bytes=logical_bytes,
+                stored_bytes=stored_bytes,
+                dedup_bytes=dedup_bytes,
+                rewritten_bytes=0,
+                containers_written=len(containers),
+            )
+
+        logical.lookups += log_lookups
+        logical.hits += log_hits
+        index.lookups += phys_probes
+        index.hits += phys_hits
+
+        recipe = ColumnarRecipe(
+            backup_id=backup_id,
+            interner=self.recipes.interner,
+            chunk_ids=ids,
+            chunk_sizes=sizes,
+            source=source,
+        )
+        self.recipes.add(recipe)
+        return IngestResult(
+            backup_id=backup_id,
+            logical_bytes=logical_bytes,
+            num_chunks=len(ids),
+            stored_bytes=stored_bytes,
+            dedup_bytes=dedup_bytes,
+            rewritten_bytes=0,
             containers_written=len(containers),
         )

@@ -13,12 +13,13 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 
-@dataclass
+@dataclass(slots=True)
 class IngestEntry:
     """One chunk travelling through the ingest pipeline.
 
     The pipeline fills the identity and duplicate-detection fields; the
-    rewriting policy owns ``rewrite``.
+    rewriting policy owns ``rewrite``.  Slotted: one is created per chunk
+    occurrence on every policy-bearing ingest path.
     """
 
     fp: bytes

@@ -36,7 +36,9 @@ from repro.workloads.datasets import DEFAULT_SEED
 #: Bump to invalidate every persisted run (schema or semantics change).
 #: v2: RotationResult carries a ``metrics`` payload (repro.obs), so v1
 #: entries — which would hydrate with empty metrics — are invalidated.
-CACHE_FORMAT_VERSION = 2
+#: v3: metrics gained ``runtime.*`` counters (index probes, Bloom-guard
+#: skip rate); v2 entries would hydrate without them.
+CACHE_FORMAT_VERSION = 3
 
 #: Environment variable overriding the cache root directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

@@ -13,6 +13,15 @@ GCCDF) need:
 Mark I/O is charged as metadata reads: one read per recipe, sized at
 ``RECIPE_ENTRY_BYTES`` per entry (a fingerprint plus size/offset fields, the
 on-disk recipe record of container-based systems).
+
+Two kernels implement the traversal.  When the recipe store is
+homogeneously columnar (the default pipeline representation), each recipe's
+id column collapses to a set of dense interned ids and the whole traversal
+becomes C-level set algebra — candidacy, liveness, the unresolved-probe
+frontier and the per-recipe RRT contribution are set unions, differences
+and intersections, with no Python-level work per chunk occurrence.  Legacy
+tuple recipes take the original per-entry kernel.  Both produce identical
+:class:`MarkResult`\\ s and identical index probe statistics.
 """
 
 from __future__ import annotations
@@ -70,6 +79,104 @@ class MarkStage:
         self.disk = disk
 
     def run(self) -> MarkResult:
+        if self.recipes.all_columnar():
+            return self._run_columnar()
+        return self._run_legacy()
+
+    # ------------------------------------------------------------------
+    # Columnar kernel: array sweeps over the dense chunk-id space
+    # ------------------------------------------------------------------
+
+    def _run_columnar(self) -> MarkResult:
+        interner = self.recipes.interner
+        keys = interner.keys()
+        index_lookup = self.index.lookup
+        # Dense-id bookkeeping, manipulated almost entirely through C-level
+        # set operations: per recipe the id column collapses to a set once
+        # (``set(array)`` iterates in C), then candidacy, liveness, the
+        # unresolved frontier, and the RRT contribution are set algebra.
+        # Only genuinely fresh ids reach the Python-level probe loop — the
+        # same once-per-unique-key probe count as the legacy memo, just in
+        # dense-id order instead of first-occurrence order (the index is
+        # read-only during mark, so probe order is unobservable).
+        candidate_ids: set[int] = set()
+        live_ids: set[int] = set()
+        resolved_ids: set[int] = set()
+        #: GS container id → resolved chunk ids placed in it.  A recipe
+        #: references a GS container iff its id set intersects the
+        #: container's member set, which ``isdisjoint`` answers at C speed
+        #: with early exit — so RRT incidence costs per *container*, not
+        #: per chunk occurrence.
+        gs_members: dict[int, set[int]] = {}
+
+        with self.disk.phase("gc.mark") as ph:
+            # Pass 1 — deleted recipes: find containers that may hold garbage.
+            gs_set: set[int] = set()
+            for recipe in self.recipes.deleted_recipes():
+                self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
+                fresh = recipe.unique_ids() - candidate_ids
+                candidate_ids |= fresh
+                resolved_ids |= fresh
+                for chunk_id in fresh:
+                    placement = index_lookup(keys[chunk_id])
+                    if placement is not None:
+                        container_id = placement.container_id
+                        gs_set.add(container_id)
+                        members = gs_members.get(container_id)
+                        if members is None:
+                            members = gs_members[container_id] = set()
+                        members.add(chunk_id)
+
+            # Mark is read-only, so a crash here needs no repair — recovery
+            # simply aborts the round and the next GC re-marks from scratch.
+            self.disk.crash_point("gc.mark", gs_containers=len(gs_set))
+
+            # Pass 2 — live recipes: liveness sets and RRT in one traversal.
+            rrt_sets: dict[int, set[int]] = {container_id: set() for container_id in gs_set}
+            for recipe in self.recipes.live_recipes():
+                self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
+                ids_set = recipe.unique_ids()
+                live_ids |= ids_set
+                fresh = ids_set - resolved_ids
+                if fresh:
+                    resolved_ids |= fresh
+                    for chunk_id in fresh:
+                        placement = index_lookup(keys[chunk_id])
+                        if placement is not None:
+                            members = gs_members.get(placement.container_id)
+                            if members is not None:
+                                members.add(chunk_id)
+                backup_id = recipe.backup_id
+                isdisjoint = ids_set.isdisjoint
+                for container_id, members in gs_members.items():
+                    if not isdisjoint(members):
+                        rrt_sets[container_id].add(backup_id)
+
+            # Populate the VC table from the liveness set: once per unique
+            # live key.  The legacy kernel adds per occurrence, but both VC
+            # implementations (exact set, Bloom) are idempotent under add,
+            # so the resulting table is identical.
+            vc_table = make_vc_table(self.config.vc_table, expected_keys=len(self.index))
+            vc_table.update(map(keys.__getitem__, live_ids))
+
+            ph.annotate(
+                candidate_keys=len(candidate_ids),
+                gs_containers=len(gs_set),
+            )
+
+        return MarkResult(
+            vc_table=vc_table,
+            gs_list=tuple(sorted(gs_set)),
+            rrt={cid: tuple(sorted(backups)) for cid, backups in rrt_sets.items()},
+            candidate_keys=len(candidate_ids),
+            mark_seconds=ph.delta.read_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy kernel: per-entry traversal over tuple recipes
+    # ------------------------------------------------------------------
+
+    def _run_legacy(self) -> MarkResult:
         # The index is immutable for the duration of one mark run, and
         # chunks shared across backups recur once per referencing recipe,
         # so resolved placements are memoised for the whole traversal

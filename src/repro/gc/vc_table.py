@@ -25,6 +25,8 @@ class VCTable(Protocol):
 
     def add(self, key: bytes) -> None: ...
 
+    def update(self, keys: Iterable[bytes]) -> None: ...
+
     def __contains__(self, key: bytes) -> bool: ...
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+from functools import partial
 from typing import Iterable
 
 from repro.errors import ConfigError
@@ -39,7 +40,16 @@ class BloomFilter:
         collision patterns.
     """
 
-    __slots__ = ("capacity", "fp_rate", "num_bits", "num_hashes", "_bits", "_salt", "count")
+    __slots__ = (
+        "capacity",
+        "fp_rate",
+        "num_bits",
+        "num_hashes",
+        "_bits",
+        "_salt",
+        "_hasher",
+        "count",
+    )
 
     def __init__(self, capacity: int, fp_rate: float = 0.01, salt: bytes = b""):
         if capacity <= 0:
@@ -53,10 +63,14 @@ class BloomFilter:
         self.num_hashes = max(1, round(num_bits / capacity * math.log(2)))
         self._bits = bytearray((num_bits + 7) // 8)
         self._salt = salt
+        # Pre-bound digest constructor: probing is a hot path (the mark
+        # stage's per-key index guard, the Analyzer's reference filters),
+        # so keyword-argument setup is paid once here, not per key.
+        self._hasher = partial(hashlib.blake2b, digest_size=16, salt=salt[:16])
         self.count = 0
 
     def _probes(self, key: bytes) -> Iterable[int]:
-        digest = hashlib.blake2b(key, digest_size=16, salt=self._salt[:16]).digest()
+        digest = self._hasher(key).digest()
         h1 = int.from_bytes(digest[:8], "big")
         h2 = int.from_bytes(digest[8:], "big") | 1
         bits = self.num_bits
@@ -65,17 +79,44 @@ class BloomFilter:
 
     def add(self, key: bytes) -> None:
         """Insert ``key``."""
-        for position in self._probes(key):
-            self._bits[position >> 3] |= 1 << (position & 7)
+        digest = self._hasher(key).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        bits = self.num_bits
+        bit_bytes = self._bits
+        for i in range(self.num_hashes):
+            position = (h1 + i * h2) % bits
+            bit_bytes[position >> 3] |= 1 << (position & 7)
         self.count += 1
 
     def update(self, keys: Iterable[bytes]) -> None:
         """Insert every key in ``keys``."""
+        hasher = self._hasher
+        bits = self.num_bits
+        num_hashes = self.num_hashes
+        bit_bytes = self._bits
+        inserted = 0
         for key in keys:
-            self.add(key)
+            digest = hasher(key).digest()
+            h1 = int.from_bytes(digest[:8], "big")
+            h2 = int.from_bytes(digest[8:], "big") | 1
+            for i in range(num_hashes):
+                position = (h1 + i * h2) % bits
+                bit_bytes[position >> 3] |= 1 << (position & 7)
+            inserted += 1
+        self.count += inserted
 
     def __contains__(self, key: bytes) -> bool:
-        return all(self._bits[p >> 3] & (1 << (p & 7)) for p in self._probes(key))
+        digest = self._hasher(key).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        bits = self.num_bits
+        bit_bytes = self._bits
+        for i in range(self.num_hashes):
+            position = (h1 + i * h2) % bits
+            if not bit_bytes[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
 
     def __len__(self) -> int:
         return self.count

@@ -1,0 +1,91 @@
+"""Fingerprint interning: fixed-width byte keys → dense ``int`` chunk ids.
+
+The hot paths of the reproduction touch every chunk *occurrence* — tens of
+millions at full scale — and pre-interning each occurrence carried a frozen
+:class:`~repro.model.ChunkRef` per entry plus a bytes-keyed dict probe per
+structure.  A :class:`FingerprintInterner` assigns each distinct key a dense
+integer id once, at first sight; downstream columnar structures
+(:class:`~repro.index.columnar.ColumnarRecipe`, the GC mark kernel) then
+operate on ``array('q')`` id columns and flat Python lists indexed by id,
+where membership and liveness become C-speed ``bytearray`` flag sweeps.
+
+The interner is *process-local and append-only*: ids are never recycled, so
+an id minted during ingest stays valid for every later GC round and restore.
+It is owned by the :class:`~repro.index.recipe.RecipeStore` (one per backup
+service), which fixes the key population a given table describes — storage
+keys (24 B) for the container-based services, logical fingerprints (20 B)
+for MFDedup.  The width is pinned by the first interned key so the flat
+:meth:`fingerprint_table` stays rectangular.
+"""
+
+from __future__ import annotations
+
+
+class FingerprintInterner:
+    """Bijective map between fixed-width byte keys and dense ints."""
+
+    __slots__ = ("_ids", "_keys", "_width")
+
+    def __init__(self) -> None:
+        self._ids: dict[bytes, int] = {}
+        self._keys: list[bytes] = []
+        self._width: int | None = None
+
+    def intern(self, key: bytes) -> int:
+        """Return the dense id for ``key``, minting one at first sight."""
+        chunk_id = self._ids.get(key)
+        if chunk_id is None:
+            if self._width is None:
+                self._width = len(key)
+            elif len(key) != self._width:
+                raise ValueError(
+                    f"interner holds {self._width}-byte keys; got {len(key)} bytes"
+                )
+            chunk_id = len(self._keys)
+            self._keys.append(key)
+            self._ids[key] = chunk_id
+        return chunk_id
+
+    def id_of(self, key: bytes) -> int | None:
+        """The id of an already-interned key, or ``None``."""
+        return self._ids.get(key)
+
+    def key_of(self, chunk_id: int) -> bytes:
+        """The byte key a dense id stands for."""
+        return self._keys[chunk_id]
+
+    def keys(self) -> list[bytes]:
+        """The id → key table as a live list (index == id).
+
+        Exposed so batched kernels can bind ``keys.__getitem__`` (or index
+        the list directly) instead of paying a method call per chunk.
+        Callers must treat the list as read-only.
+        """
+        return self._keys
+
+    def id_map(self) -> dict[bytes, int]:
+        """The live key → id dict, for batched kernels that probe the
+        duplicate majority with a bare ``dict.get`` and fall back to
+        :meth:`intern` only on first sight.  Callers must treat the dict
+        as read-only."""
+        return self._ids
+
+    @property
+    def width(self) -> int | None:
+        """Key width in bytes (``None`` until the first intern)."""
+        return self._width
+
+    def fingerprint_table(self) -> bytes:
+        """All interned keys as one flat ``bytes`` block, ordered by id.
+
+        Key ``i`` occupies ``table[i * width : (i + 1) * width]`` — the
+        compact serialized form of the id space (and what an on-disk recipe
+        region would store).
+        """
+        return b"".join(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._ids

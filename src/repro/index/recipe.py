@@ -13,9 +13,12 @@ logically deleted (awaiting GC), and purged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from functools import cached_property
+from typing import Iterable, Iterator, Union
 
 from repro.errors import BackupAlreadyDeletedError, UnknownBackupError
+from repro.index.columnar import ColumnarRecipe
+from repro.index.interning import FingerprintInterner
 from repro.model import ChunkRef
 
 
@@ -29,9 +32,15 @@ class Recipe:
     #: purely informational, used by experiment reports.
     source: str = ""
 
-    @property
+    @cached_property
     def logical_size(self) -> int:
-        """The backup's pre-dedup size in bytes."""
+        """The backup's pre-dedup size in bytes (computed once, cached).
+
+        GC touches every recipe's size each round; entries are immutable,
+        so the O(n) sum is paid on first access only.  ``cached_property``
+        writes the instance ``__dict__`` directly, which is legal on a
+        frozen (non-slots) dataclass.
+        """
         return sum(entry.size for entry in self.entries)
 
     @property
@@ -47,25 +56,46 @@ class Recipe:
         return {entry.fp for entry in self.entries}
 
 
+#: Either recipe representation; both expose the same read API.
+AnyRecipe = Union[Recipe, ColumnarRecipe]
+
+
 class RecipeStore:
-    """All recipes known to the system, with logical-deletion state."""
+    """All recipes known to the system, with logical-deletion state.
+
+    The store also owns the service's :class:`FingerprintInterner` — the
+    id space every :class:`~repro.index.columnar.ColumnarRecipe` it holds
+    is encoded against — and tracks whether the current population is
+    homogeneously columnar, which is the precondition for the GC mark
+    stage's array-sweep kernel.
+    """
 
     def __init__(self) -> None:
-        self._recipes: dict[int, Recipe] = {}
+        self._recipes: dict[int, AnyRecipe] = {}
         self._deleted: set[int] = set()
         self._next_id = 0
+        self.interner = FingerprintInterner()
+        #: Live count of stored recipes in the legacy tuple representation.
+        self._tuple_recipes = 0
 
     def new_backup_id(self) -> int:
         backup_id = self._next_id
         self._next_id += 1
         return backup_id
 
-    def add(self, recipe: Recipe) -> None:
+    def all_columnar(self) -> bool:
+        """True when every stored recipe is a :class:`ColumnarRecipe`
+        encoded against :attr:`interner` (vacuously true when empty)."""
+        return self._tuple_recipes == 0
+
+    def add(self, recipe: AnyRecipe) -> None:
         if recipe.backup_id in self._recipes:
             raise UnknownBackupError(f"backup {recipe.backup_id} already stored")
         self._recipes[recipe.backup_id] = recipe
+        if not isinstance(recipe, ColumnarRecipe):
+            self._tuple_recipes += 1
 
-    def get(self, backup_id: int) -> Recipe:
+    def get(self, backup_id: int) -> AnyRecipe:
         recipe = self._recipes.get(backup_id)
         if recipe is None:
             raise UnknownBackupError(f"backup {backup_id} unknown")
@@ -85,11 +115,14 @@ class RecipeStore:
     def is_deleted(self, backup_id: int) -> bool:
         return backup_id in self._deleted
 
-    def purge_deleted(self) -> list[Recipe]:
+    def purge_deleted(self) -> list[AnyRecipe]:
         """Drop logically deleted recipes (called at the end of GC); returns
         the purged recipes so GC reports can account them."""
         purged = [self._recipes.pop(backup_id) for backup_id in sorted(self._deleted)]
         self._deleted.clear()
+        for recipe in purged:
+            if not isinstance(recipe, ColumnarRecipe):
+                self._tuple_recipes -= 1
         return purged
 
     def live_ids(self) -> list[int]:
@@ -100,11 +133,11 @@ class RecipeStore:
         """Ids of logically deleted, not-yet-purged backups, ascending."""
         return sorted(self._deleted)
 
-    def live_recipes(self) -> Iterator[Recipe]:
+    def live_recipes(self) -> Iterator[AnyRecipe]:
         for backup_id in self.live_ids():
             yield self._recipes[backup_id]
 
-    def deleted_recipes(self) -> Iterator[Recipe]:
+    def deleted_recipes(self) -> Iterator[AnyRecipe]:
         for backup_id in self.deleted_ids():
             yield self._recipes[backup_id]
 

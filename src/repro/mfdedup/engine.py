@@ -19,11 +19,14 @@ volume layout:
 
 from __future__ import annotations
 
+from array import array
+
 from repro.backup.service import BackupService, ChunkStream, ServiceStats
 from repro.config import SystemConfig
 from repro.dedup.pipeline import IngestResult
 from repro.gc.report import GCReport
-from repro.index.recipe import Recipe, RecipeStore
+from repro.index.columnar import ColumnarRecipe
+from repro.index.recipe import AnyRecipe, Recipe, RecipeStore
 from repro.mfdedup.volumes import VolumeStore
 from repro.model import Chunk, ChunkRef
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -32,13 +35,25 @@ from repro.simio.disk import DiskModel
 
 
 class MFDedupService(BackupService):
-    """MFDedup: neighbor dedup + lifecycle volumes + deletion-only GC."""
+    """MFDedup: neighbor dedup + lifecycle volumes + deletion-only GC.
+
+    ``columnar`` selects the recipe representation: id/size columns against
+    the store's interner (default; the interner here maps 20-byte logical
+    fingerprints, not storage keys — MFDedup has no rewriting, so one copy
+    per fingerprint) or the legacy tuple of :class:`~repro.model.ChunkRef`.
+    """
 
     name = "mfdedup"
 
-    def __init__(self, config: SystemConfig | None = None, tracer: Tracer | None = None):
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        tracer: Tracer | None = None,
+        columnar: bool = True,
+    ):
         self.config = config or SystemConfig.scaled()
         self.config.validate()
+        self.columnar = columnar
         # Explicit None test: an empty TraceRecorder is falsy (len == 0).
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.disk = DiskModel(self.config.disk, tracer=self.tracer)
@@ -60,7 +75,14 @@ class MFDedupService(BackupService):
     def ingest(self, stream: ChunkStream, source: str = "") -> IngestResult:
         backup_id = self.recipes.new_backup_id()
         current: dict[bytes, int] = {}
+        columnar = self.columnar
         entries: list[ChunkRef] = []
+        ids = array("q")
+        sizes = array("q")
+        ids_append = ids.append
+        sizes_append = sizes.append
+        intern = self.recipes.interner.intern
+        previous = self._previous
         logical_bytes = 0
         stored_bytes = 0
         dedup_bytes = 0
@@ -69,16 +91,22 @@ class MFDedupService(BackupService):
             # Classify the stream: neighbor duplicates vs fresh chunks.
             for item in stream:
                 ref = item.ref if isinstance(item, Chunk) else item
-                logical_bytes += ref.size
-                entries.append(ChunkRef(fp=ref.fp, size=ref.size))
-                if ref.fp in current:
-                    dedup_bytes += ref.size  # intra-backup duplicate
-                    continue
-                current[ref.fp] = ref.size
-                if ref.fp in self._previous:
-                    dedup_bytes += ref.size  # neighbor duplicate: will migrate
+                fp = ref.fp
+                size = ref.size
+                logical_bytes += size
+                if columnar:
+                    ids_append(intern(fp))
+                    sizes_append(size)
                 else:
-                    stored_bytes += ref.size
+                    entries.append(ChunkRef(fp=fp, size=size))
+                if fp in current:
+                    dedup_bytes += size  # intra-backup duplicate
+                    continue
+                current[fp] = size
+                if fp in previous:
+                    dedup_bytes += size  # neighbor duplicate: will migrate
+                else:
+                    stored_bytes += size
 
             # Migrate forward the predecessor's still-shared chunks, under
             # one umbrella intent recording every performed move — a crash
@@ -120,7 +148,17 @@ class MFDedupService(BackupService):
                 dedup_bytes=dedup_bytes,
             )
 
-        recipe = Recipe(backup_id=backup_id, entries=tuple(entries), source=source)
+        recipe: AnyRecipe
+        if columnar:
+            recipe = ColumnarRecipe(
+                backup_id=backup_id,
+                interner=self.recipes.interner,
+                chunk_ids=ids,
+                chunk_sizes=sizes,
+                source=source,
+            )
+        else:
+            recipe = Recipe(backup_id=backup_id, entries=tuple(entries), source=source)
         self.recipes.add(recipe)
         self._previous = current
         self._previous_id = backup_id
@@ -134,7 +172,7 @@ class MFDedupService(BackupService):
         result = IngestResult(
             backup_id=backup_id,
             logical_bytes=logical_bytes,
-            num_chunks=len(entries),
+            num_chunks=len(ids) if columnar else len(entries),
             stored_bytes=stored_bytes,
             dedup_bytes=dedup_bytes,
             rewritten_bytes=0,
@@ -248,6 +286,9 @@ class MFDedupService(BackupService):
             cumulative_stored_bytes=self._cumulative_stored,
             physical_bytes=self.volumes.stored_bytes,
         )
+
+    def runtime_metrics(self) -> dict[str, int | float]:
+        return {"interner.chunks": len(self.recipes.interner)}
 
     @property
     def migrated_bytes(self) -> int:

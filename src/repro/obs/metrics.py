@@ -109,14 +109,17 @@ class MetricsRegistry:
         return registry
 
 
-def rotation_metrics(result, stats=None) -> dict:
+def rotation_metrics(result, stats=None, runtime=None) -> dict:
     """Aggregate one protocol run into a metrics payload.
 
     ``result`` is a :class:`~repro.backup.driver.RotationResult` (typed
     loosely to keep this package dependency-free); ``stats`` an optional
     :class:`~repro.backup.service.ServiceStats` whose whole-run accounting
-    lands under ``service.*`` counters.  Returns ``MetricsRegistry.to_dict()``
-    form, ready to store on the result and in the run cache.
+    lands under ``service.*`` counters; ``runtime`` an optional flat
+    mapping of hot-path execution counters (index probes, Bloom-guard skip
+    rate — see ``BackupService.runtime_metrics``) recorded under
+    ``runtime.*``.  Returns ``MetricsRegistry.to_dict()`` form, ready to
+    store on the result and in the run cache.
     """
     registry = MetricsRegistry()
 
@@ -159,5 +162,9 @@ def rotation_metrics(result, stats=None) -> dict:
         registry.count("service.cumulative_stored_bytes", stats.cumulative_stored_bytes)
         registry.count("service.physical_bytes", stats.physical_bytes)
         registry.count("service.dedup_ratio", stats.dedup_ratio)
+
+    if runtime:
+        for name in sorted(runtime):
+            registry.count(f"runtime.{name}", runtime[name])
 
     return registry.to_dict()

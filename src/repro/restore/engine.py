@@ -14,9 +14,11 @@ the accounting.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator
 
 from repro.errors import IntegrityError
+from repro.index.columnar import ColumnarRecipe
 from repro.index.fingerprint_index import FingerprintIndex
 from repro.index.recipe import RecipeStore
 from repro.simio.disk import DiskModel
@@ -61,6 +63,10 @@ class RestoreEngine:
     def _run(self, backup_id: int, collect_data: bool) -> tuple[RestoreReport, bytes | None]:
         recipe = self.recipes.get(backup_id)
         cache = ContainerCache(self.store, self.cache_containers)
+        # Accounting-only restores of columnar recipes take the batched
+        # kernel; byte-collecting restores need the per-entry payload walk.
+        if not collect_data and isinstance(recipe, ColumnarRecipe):
+            return self._run_columnar(backup_id, recipe, cache), None
         pieces: list[bytes] = [] if collect_data else None  # type: ignore[assignment]
 
         with self.disk.phase("restore") as ph:
@@ -98,6 +104,47 @@ class RestoreEngine:
             cache_hits=cache.hits,
         )
         return report, (b"".join(pieces) if collect_data else None)
+
+    def _run_columnar(
+        self, backup_id: int, recipe: ColumnarRecipe, cache: ContainerCache
+    ) -> RestoreReport:
+        """Batched restore: resolve the whole recipe to a container-id
+        column, then drive the cache over the column.
+
+        Each *unique* chunk resolves through :meth:`FingerprintIndex.get`
+        exactly once (at its first occurrence, preserving the per-entry
+        kernel's error behaviour for unknown chunks); the cache then sees
+        the same container sequence the per-entry loop would produce, so
+        hit/miss counters, simulated reads, and eviction events match.
+        """
+        with self.disk.phase("restore") as ph:
+            keys = recipe.interner.keys()
+            index_get = self.index.get
+            ids = recipe.chunk_ids
+            # ``dict.fromkeys`` collects unique ids in first-occurrence order
+            # at C speed; resolving per unique id preserves the per-entry
+            # kernel's error order for unknown chunks.  The full column is
+            # then one C-level ``map`` over the memo.
+            container_of = dict.fromkeys(ids)
+            for chunk_id in container_of:
+                container_of[chunk_id] = index_get(keys[chunk_id]).container_id
+            cache.read_column(array("q", map(container_of.__getitem__, ids)))
+            ph.annotate(
+                backup_id=backup_id,
+                containers_read=cache.misses,
+                cache_hits=cache.hits,
+                logical_bytes=recipe.logical_size,
+            )
+
+        return RestoreReport(
+            backup_id=backup_id,
+            logical_bytes=recipe.logical_size,
+            num_chunks=recipe.num_chunks,
+            containers_read=cache.misses,
+            container_bytes_read=ph.delta.read_bytes,
+            read_seconds=ph.delta.read_seconds,
+            cache_hits=cache.hits,
+        )
 
     def restore_all(self, backup_ids: list[int] | None = None) -> Iterator[RestoreReport]:
         """Restore every live backup (or the given ids), oldest first."""

@@ -1,0 +1,260 @@
+"""Columnar/tuple hot-path equivalence (the PR-5 representation change).
+
+The columnar engine (interned ids + ``array('q')`` recipe columns + batched
+kernels) must be *observationally identical* to the legacy tuple-of-
+``ChunkRef`` path: same fingerprints in order, same unique sets, same
+logical sizes, and — end to end — the same GC mark results and index probe
+statistics on arbitrary streams.  Property tests drive both representations
+over random inputs; unit tests pin the interner and the Bloom
+negative-lookup guard.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.backup.system import DedupBackupService
+from repro.config import ChunkingConfig, RetentionConfig, SystemConfig
+from repro.gc.mark import MarkStage
+from repro.hashing.fingerprints import synthetic_fingerprint
+from repro.index.columnar import ColumnarRecipe
+from repro.index.fingerprint_index import (
+    GUARD_INITIAL_CAPACITY,
+    FingerprintIndex,
+)
+from repro.index.interning import FingerprintInterner
+from repro.index.recipe import Recipe
+from repro.model import ChunkRef
+
+from tests.conftest import refs
+
+
+# ---------------------------------------------------------------------------
+# Recipe-level equivalence: ColumnarRecipe vs legacy Recipe over one stream
+# ---------------------------------------------------------------------------
+
+# (chunk id, size) pairs; repeated ids model the duplicate-heavy streams the
+# columnar representation exists for.
+stream_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=1, max_value=4096),
+    ),
+    min_size=0,
+    max_size=200,
+)
+
+
+def build_pair(entries: list[tuple[int, int]]) -> tuple[Recipe, ColumnarRecipe]:
+    chunk_refs = tuple(
+        ChunkRef(fp=synthetic_fingerprint("hotpath", i), size=size)
+        for i, size in entries
+    )
+    legacy = Recipe(backup_id=1, entries=chunk_refs, source="prop")
+    interner = FingerprintInterner()
+    columnar = ColumnarRecipe(
+        backup_id=1,
+        interner=interner,
+        chunk_ids=(interner.intern(ref.fp) for ref in chunk_refs),
+        chunk_sizes=(ref.size for ref in chunk_refs),
+        source="prop",
+    )
+    return legacy, columnar
+
+
+@given(stream_entries)
+def test_fingerprints_in_order_match(entries):
+    legacy, columnar = build_pair(entries)
+    assert list(columnar.fingerprints()) == list(legacy.fingerprints())
+
+
+@given(stream_entries)
+def test_unique_fingerprints_match(entries):
+    legacy, columnar = build_pair(entries)
+    assert columnar.unique_fingerprints() == legacy.unique_fingerprints()
+    # The cached unique-id set agrees with the column it summarises.
+    assert columnar.unique_ids() == frozenset(columnar.chunk_ids)
+    assert columnar.unique_ids() is columnar.unique_ids()  # cached
+
+
+@given(stream_entries)
+def test_logical_size_and_num_chunks_match(entries):
+    legacy, columnar = build_pair(entries)
+    assert columnar.logical_size == legacy.logical_size
+    assert columnar.logical_size == sum(size for _, size in entries)
+    assert columnar.num_chunks == legacy.num_chunks == len(entries)
+
+
+@given(stream_entries)
+def test_entries_view_matches_tuple(entries):
+    legacy, columnar = build_pair(entries)
+    view = columnar.entries
+    assert len(view) == len(legacy.entries)
+    assert list(view) == list(legacy.entries)
+    for i in range(len(entries)):
+        assert view[i] == legacy.entries[i]
+    if entries:
+        assert view[-1] == legacy.entries[-1]
+    assert view[1:7] == legacy.entries[1:7]
+    assert view[::2] == legacy.entries[::2]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end equivalence: GC mark over both representations
+# ---------------------------------------------------------------------------
+
+mark_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),  # window start
+        st.integers(min_value=4, max_value=30),  # window length
+    ),
+    min_size=2,
+    max_size=8,
+)
+
+
+def _mark_config(vc_table: str) -> SystemConfig:
+    config = SystemConfig(
+        container_size=4096,
+        chunking=ChunkingConfig(min_size=128, avg_size=512, max_size=1024),
+        retention=RetentionConfig(retained=6, turnover=2),
+        vc_table=vc_table,
+    )
+    config.validate()
+    return config
+
+
+@settings(deadline=None, max_examples=30)
+@given(ops=mark_ops, vc_table=st.sampled_from(["exact", "bloom"]), deletions=st.integers(0, 3))
+def test_mark_results_match_across_representations(ops, vc_table, deletions):
+    services = {}
+    marks = {}
+    for columnar in (True, False):
+        service = DedupBackupService(config=_mark_config(vc_table), columnar=columnar)
+        for start, length in ops:
+            service.ingest(refs("mark-prop", range(start, start + length)))
+        service.delete_oldest(deletions)
+        stage = MarkStage(
+            config=service.config,
+            index=service.index,
+            recipes=service.recipes,
+            disk=service.disk,
+        )
+        services[columnar] = service
+        marks[columnar] = stage.run()
+
+    columnar_mark, legacy_mark = marks[True], marks[False]
+    assert columnar_mark.gs_list == legacy_mark.gs_list
+    assert columnar_mark.rrt == legacy_mark.rrt
+    assert columnar_mark.candidate_keys == legacy_mark.candidate_keys
+
+    # Identical probe accounting: the batched kernels make the same number
+    # of index probes with the same hit counts as the per-entry loops.
+    for attr in ("lookups", "hits"):
+        assert getattr(services[True].index, attr) == getattr(
+            services[False].index, attr
+        ), attr
+
+    # Identical VC tables: probe every indexed key, plus keys never stored
+    # (exercises Bloom false-positive determinism too — both kernels build
+    # bit-identical filters).
+    for key, _ in services[True].index.items():
+        assert (key in columnar_mark.vc_table) == (key in legacy_mark.vc_table)
+    for i in range(50):
+        absent = synthetic_fingerprint("never-stored", i) + b"\x00\x00\x00\x00"
+        assert (absent in columnar_mark.vc_table) == (absent in legacy_mark.vc_table)
+
+
+# ---------------------------------------------------------------------------
+# FingerprintInterner unit behaviour
+# ---------------------------------------------------------------------------
+
+class TestInterner:
+    def test_ids_are_dense_and_stable(self):
+        interner = FingerprintInterner()
+        keys = [synthetic_fingerprint("intern", i) for i in range(5)]
+        ids = [interner.intern(k) for k in keys]
+        assert ids == list(range(5))
+        assert [interner.intern(k) for k in keys] == ids  # idempotent
+        assert len(interner) == 5
+        for chunk_id, key in zip(ids, keys):
+            assert interner.key_of(chunk_id) == key
+            assert interner.id_of(key) == chunk_id
+            assert key in interner
+
+    def test_id_of_unknown_is_none(self):
+        interner = FingerprintInterner()
+        assert interner.id_of(b"\x00" * 20) is None
+
+    def test_width_is_pinned_by_first_key(self):
+        interner = FingerprintInterner()
+        assert interner.width is None
+        interner.intern(b"a" * 20)
+        assert interner.width == 20
+        try:
+            interner.intern(b"b" * 24)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("mixed-width intern must raise")
+
+    def test_fingerprint_table_layout(self):
+        interner = FingerprintInterner()
+        keys = [synthetic_fingerprint("table", i) for i in range(4)]
+        for key in keys:
+            interner.intern(key)
+        table = interner.fingerprint_table()
+        width = interner.width
+        assert table == b"".join(keys)
+        for i, key in enumerate(keys):
+            assert table[i * width : (i + 1) * width] == key
+
+    def test_id_map_is_live_view(self):
+        interner = FingerprintInterner()
+        mapping = interner.id_map()
+        chunk_id = interner.intern(b"c" * 20)
+        assert mapping[b"c" * 20] == chunk_id
+
+
+# ---------------------------------------------------------------------------
+# Bloom negative-lookup guard: result- and counter-identical to unguarded
+# ---------------------------------------------------------------------------
+
+class TestNegativeGuard:
+    def test_guarded_lookup_matches_unguarded(self):
+        guarded = FingerprintIndex(negative_guard=True)
+        plain = FingerprintIndex(negative_guard=False)
+        keys = [synthetic_fingerprint("guard", i) + b"\x00" * 4 for i in range(64)]
+        for i, key in enumerate(keys[:32]):
+            guarded.insert(key, container_id=i, size=512)
+            plain.insert(key, container_id=i, size=512)
+        for key in keys:  # 32 present, 32 never inserted
+            assert guarded.lookup(key) == plain.lookup(key)
+        assert guarded.lookups == plain.lookups == 64
+        assert guarded.hits == plain.hits == 32
+        assert guarded.guard_probes == 64
+        # Every never-inserted key is skipped (no false negatives; false
+        # positives may only reduce the skip count, never add wrong skips).
+        assert guarded.guard_skips <= 32
+        assert guarded.guard_skip_rate == guarded.guard_skips / 64
+        assert plain.guard_probes == plain.guard_skips == 0
+        assert not plain.guard_enabled and guarded.guard_enabled
+
+    def test_guard_rebuild_preserves_correctness(self):
+        index = FingerprintIndex(negative_guard=True)
+        n = GUARD_INITIAL_CAPACITY + 100  # forces at least one rebuild
+        keys = [b"%020d\x00\x00\x00\x00" % i for i in range(n)]
+        for i, key in enumerate(keys):
+            index.insert(key, container_id=i, size=1)
+        for key in keys:
+            assert index.lookup(key) is not None
+        assert index.hits == n
+
+    def test_validate_counts_like_lookup_without_guard_probes(self):
+        index = FingerprintIndex(negative_guard=True)
+        key = b"v" * 24
+        index.insert(key, container_id=0, size=1)
+        assert index.validate(key) is not None
+        assert index.validate(b"w" * 24) is None
+        assert index.lookups == 2 and index.hits == 1
+        assert index.guard_probes == 0
