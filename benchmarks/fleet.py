@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Fleet jobs-scaling benchmark — thin wrapper over :mod:`repro.fleet.bench`.
+
+Runs the same fleet at ``jobs=1`` and ``--jobs N``, hard-gates that both
+produce byte-identical results and merged traces, and records the
+wall-clock (and shard-balance ideal) speedup::
+
+    PYTHONPATH=src python benchmarks/fleet.py --preset medium --jobs 4 \\
+        --out benchmarks/results/BENCH_fleet.json
+
+See docs/fleet.md for how to read ``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.fleet.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

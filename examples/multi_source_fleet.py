@@ -1,25 +1,35 @@
 """Multi-source backup fleet: where prior reordering breaks and GCCDF holds.
 
-A backup appliance rarely serves one machine.  This example interleaves
-backups from two unrelated sources (a website and a Redis dump — the MIX
-dataset) and compares four approaches, reproducing the paper's §3.1
-motivation: MFDedup's neighbor-only dedup collapses to no-dedup on the
-interleaved stream, rewriting (HAR) trades away dedup ratio, and GCCDF keeps
-the full ratio while containing fragmentation.
+A backup appliance rarely serves one machine.  This example builds a small
+:mod:`repro.fleet` — four tenants (two website sources, two mixed-media
+sources) sharing one shard's dedup domain, their backup rotations
+interleaved on simulated time — and compares four approaches, reproducing
+the paper's §3.1 motivation: MFDedup's neighbor-only dedup collapses on the
+interleaved stream, rewriting (HAR) trades away dedup ratio, and GCCDF
+keeps the full ratio while containing fragmentation.
 
     python examples/multi_source_fleet.py
 """
 
 from __future__ import annotations
 
-from repro import RotationDriver, SystemConfig, dataset, make_service
+from repro.fleet import FleetConfig, run_fleet
 from repro.metrics.table import Column, ResultTable, fmt_float, fmt_mib
 
 
 def main() -> None:
-    config = SystemConfig.scaled(retained=30, turnover=6)
+    fleet = FleetConfig.synthetic(
+        4,
+        1,
+        datasets=("web", "mix"),
+        workload_scale=0.25,
+        backups_per_tenant=30,
+        stream_pool=None,  # every tenant is an unrelated source
+        retained=10,
+        turnover=2,
+    )
     table = ResultTable(
-        title="Interleaved website + Redis backups (60 backups, 6 GC rounds)",
+        title="Four interleaved sources, one dedup domain (30 backups each)",
         columns=[
             Column("approach", align="<"),
             Column("dedup ratio", format=fmt_float(2)),
@@ -29,9 +39,7 @@ def main() -> None:
     )
     outcomes = {}
     for approach in ("naive", "har", "mfdedup", "gccdf"):
-        service = make_service(approach, config)
-        driver = RotationDriver(service, config.retention, dataset_name="mix")
-        result = driver.run(dataset("mix", scale=0.5, num_backups=60))
+        result = run_fleet(fleet.with_overrides(approach=approach), jobs=1)
         outcomes[approach] = result
         table.add_row(
             approach,
@@ -44,8 +52,9 @@ def main() -> None:
     mf, naive, gccdf = outcomes["mfdedup"], outcomes["naive"], outcomes["gccdf"]
     print(
         "MFDedup deduplicates only against the immediately preceding backup —\n"
-        "which here always belongs to the *other* source, so its dedup ratio\n"
-        f"collapses to {mf.dedup_ratio:.2f} (effectively no deduplication).\n"
+        "which in a shared fleet domain usually belongs to a *different*\n"
+        f"tenant, so its dedup ratio collapses to {mf.dedup_ratio:.2f} "
+        f"(vs naïve's {naive.dedup_ratio:.2f}).\n"
     )
     print(
         f"GCCDF keeps naïve's full dedup ratio ({gccdf.dedup_ratio:.2f}) while cutting\n"

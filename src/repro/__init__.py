@@ -54,6 +54,14 @@ from repro.faults import (
     points_for,
     recover_service,
 )
+from repro.fleet import (
+    FleetConfig,
+    FleetResult,
+    ShardResult,
+    TenantSpec,
+    run_fleet,
+    shard_of,
+)
 from repro.gc import MarkSweepGC, NaiveMigration
 from repro.index.columnar import ColumnarRecipe
 from repro.index.interning import FingerprintInterner
@@ -96,6 +104,12 @@ __all__ = [
     "SimulatedCrash",
     "points_for",
     "recover_service",
+    "FleetConfig",
+    "FleetResult",
+    "ShardResult",
+    "TenantSpec",
+    "run_fleet",
+    "shard_of",
     "GCCDFMigration",
     "MarkSweepGC",
     "NaiveMigration",

@@ -64,6 +64,38 @@ def make_service(
     return service
 
 
+def service_factory(
+    approach: str,
+    config: SystemConfig | None = None,
+    columnar: bool | None = None,
+    **policy_kwargs,
+):
+    """Bind an approach and config once; build instances on demand.
+
+    Returns ``build(seed=0, tracer=None) -> BackupService``.  Multi-service
+    hosts (the fleet's shard runner builds one service per shard or per
+    tenant) resolve the approach and validate the config a single time, then
+    stamp out services that differ only in their seed (GCCDF's migration
+    RNG) and attached tracer.
+    """
+    if approach not in APPROACHES:
+        raise ValueError(f"unknown approach {approach!r}; choose from {APPROACHES}")
+    config = config or SystemConfig.scaled()
+    config.validate()
+
+    def build(seed: int = 0, tracer: Tracer | None = None) -> BackupService:
+        return make_service(
+            approach,
+            config,
+            seed=seed,
+            tracer=tracer,
+            columnar=columnar,
+            **policy_kwargs,
+        )
+
+    return build
+
+
 def _build_service(
     approach: str,
     config: SystemConfig,

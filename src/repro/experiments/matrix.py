@@ -35,7 +35,6 @@ from __future__ import annotations
 import json
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -44,6 +43,7 @@ from repro.errors import ConfigError
 from repro.experiments import ablations, common, fig02, fig11, fig12, fig13, fig14, fig15
 from repro.experiments.cache import RunCache, run_cache_key
 from repro.experiments.common import ExperimentScale, get_scale, run_protocol
+from repro.experiments.pool import run_tasks
 from repro.obs.tracer import TraceRecorder, Tracer, write_trace
 
 #: Where cell wall-times land unless the caller overrides it.
@@ -208,9 +208,10 @@ def cells_for(experiments: Iterable[str], scale: str) -> tuple[Cell, ...]:
     return tuple(seen)
 
 
-def _execute_cell(cell: Cell, trace: bool = False) -> tuple[dict, float, list[dict] | None]:
+def _execute_cell(payload: tuple[Cell, bool]) -> tuple[dict, float, list[dict] | None]:
     """Worker-side entry point: run one cell, ship the result as a dict
     (plus the cell's event stream as dicts when tracing)."""
+    cell, trace = payload
     started = time.perf_counter()
     recorder = TraceRecorder() if trace else None
     result = cell.run(tracer=recorder)
@@ -425,33 +426,18 @@ def run_matrix(
         shared = f" (+{len(sharers)} shared)" if sharers else ""
         emit(f"[{done}/{len(pending)}] {representative.label}: {seconds:.1f}s{shared}")
 
-    if jobs == 1 or len(pending) <= 1:
-        for done, (key, group) in enumerate(pending.items(), start=1):
-            started = time.perf_counter()
-            recorder = TraceRecorder() if tracing else None
-            result = group[0].run(tracer=recorder)
-            seconds = time.perf_counter() - started
-            finish(key, result, seconds, done, recorder.to_dicts() if recorder else None)
-    elif pending:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_execute_cell, group[0], tracing): key
-                for key, group in pending.items()
-            }
-            done = 0
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    data, seconds, events = future.result()
-                    done += 1
-                    finish(
-                        futures[future],
-                        RotationResult.from_dict(data),
-                        seconds,
-                        done,
-                        events,
-                    )
+    def on_cell_done(
+        key: str, outcome: tuple[dict, float, list[dict] | None], done: int
+    ) -> None:
+        data, seconds, events = outcome
+        finish(key, RotationResult.from_dict(data), seconds, done, events)
+
+    run_tasks(
+        [(key, (group[0], tracing)) for key, group in pending.items()],
+        _execute_cell,
+        jobs,
+        on_cell_done,
+    )
 
     if tracing:
         written = write_trace(trace_path, _merged_events(cells, pending, key_of, events_by_key))

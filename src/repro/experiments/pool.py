@@ -1,0 +1,57 @@
+"""Shared process-pool fan-out for independent, picklable tasks.
+
+Both parallel schedulers in this repository — the experiment matrix
+(:mod:`repro.experiments.matrix`) and the fleet shard runner
+(:mod:`repro.fleet.runner`) — have the same shape: a set of independent
+tasks, a module-level worker function that executes one task in a child
+process, and a ``finish`` callback that folds each completed result into
+caller-side state.  :func:`run_tasks` is that shape, factored out once.
+
+Determinism contract: ``finish`` may be called in any order (workers
+complete when they complete), so callers that promise byte-identical
+output across ``--jobs`` values must collect results keyed by task and
+merge them in task-enumeration order *after* the pool drains — exactly
+what the matrix's trace merge and the fleet's shard merge do.  With
+``jobs=1`` the worker runs in-process, in task order, through the very
+same ``finish`` path, so serial and pooled runs exercise identical
+result plumbing (including ``to_dict``/``from_dict`` round-trips).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Hashable, Sequence, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+P = TypeVar("P")
+R = TypeVar("R")
+
+
+def run_tasks(
+    tasks: Sequence[tuple[K, P]],
+    worker: Callable[[P], R],
+    jobs: int,
+    finish: Callable[[K, R, int], None],
+) -> None:
+    """Execute every ``(key, payload)`` task and hand results to ``finish``.
+
+    ``worker`` must be a module-level (picklable) function taking one
+    payload; ``finish(key, result, done)`` receives the task's key, the
+    worker's return value, and a 1-based completion counter.  ``jobs=1``
+    (or a single task) runs everything in-process in task order; otherwise
+    payloads fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+    and ``finish`` runs in completion order on the calling process.
+    """
+    if jobs == 1 or len(tasks) <= 1:
+        for done, (key, payload) in enumerate(tasks, start=1):
+            finish(key, worker(payload), done)
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = {pool.submit(worker, payload): key for key, payload in tasks}
+        done = 0
+        remaining = set(futures)
+        while remaining:
+            completed, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in completed:
+                done += 1
+                finish(futures[future], future.result(), done)

@@ -1,0 +1,200 @@
+"""Fleet jobs-scaling benchmark — writes ``BENCH_fleet.json``.
+
+Runs the same fleet twice — serial (``jobs=1``) and process-parallel
+(``--jobs N``, default 4) — and records:
+
+* **determinism** (hard gate, exit 1 on failure): the parallel run's
+  :meth:`~repro.fleet.result.FleetResult.canonical_json` and merged JSONL
+  trace must be byte-identical to the serial run's;
+* **headline speedup**: serial wall / parallel wall, plus the *ideal*
+  speedup ``sum(shard_seconds) / max(shard_seconds)`` implied by the
+  serial run's per-shard compute times (what a perfectly parallel
+  machine with ≥ ``min(jobs, shards)`` cores would achieve).
+
+The speedup gate (``--min-speedup``, default 2.0) is enforced only when
+the machine actually has at least ``jobs`` usable cores — on smaller
+boxes (including 1-2 core CI runners) the measured speedup is recorded
+report-only and the *ideal* speedup is gated instead, since the latter is
+a property of the fleet's shard balance, not of the host.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fleet.py --preset medium --jobs 4
+    PYTHONPATH=src python benchmarks/fleet.py --preset quick --no-gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.fleet.cli import FLEET_PRESETS
+from repro.fleet.runner import run_fleet
+from repro.fleet.topology import FleetConfig
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_config(args: argparse.Namespace) -> FleetConfig:
+    params = dict(FLEET_PRESETS[args.preset])
+    if args.tenants is not None:
+        params["num_tenants"] = args.tenants
+    if args.shards is not None:
+        params["num_shards"] = args.shards
+    return FleetConfig.synthetic(
+        params.pop("num_tenants"),
+        params.pop("num_shards"),
+        approach=args.approach,
+        seed=args.seed,
+        **params,
+    )
+
+
+def run_benchmark(args: argparse.Namespace) -> tuple[dict, bool]:
+    """Execute both runs; returns (payload, ok)."""
+    config = build_config(args)
+    cpus = usable_cpus()
+
+    def progress(line: str) -> None:
+        print(f"  {line}", file=sys.stderr, flush=True)
+
+    payload: dict = {
+        "preset": args.preset,
+        "tenants": len(config.tenants),
+        "shards": config.num_shards,
+        "approach": config.approach,
+        "dedup_domain": config.dedup_domain,
+        "cpu_count": cpus,
+        "jobs": args.jobs,
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_trace = Path(tmp) / "serial.jsonl"
+        parallel_trace = Path(tmp) / "parallel.jsonl"
+
+        print(f"serial run (jobs=1): {config.describe()}", file=sys.stderr)
+        serial = run_fleet(config, jobs=1, trace_path=serial_trace, progress=progress)
+        print(f"parallel run (jobs={args.jobs})", file=sys.stderr)
+        parallel = run_fleet(
+            config, jobs=args.jobs, trace_path=parallel_trace, progress=progress
+        )
+
+        result_identical = serial.canonical_json() == parallel.canonical_json()
+        trace_identical = serial_trace.read_bytes() == parallel_trace.read_bytes()
+        trace_events = sum(1 for _ in serial_trace.open())
+
+    shard_seconds = dict(serial.shard_seconds)
+    busy = [s for s in shard_seconds.values() if s > 0]
+    ideal_speedup = (sum(busy) / max(busy)) if busy else 1.0
+    measured_speedup = (
+        serial.wall_seconds / parallel.wall_seconds if parallel.wall_seconds else 0.0
+    )
+
+    payload.update(
+        {
+            "chunk_ops": parallel.chunk_ops,
+            "total_requests": parallel.total_requests,
+            "dedup_ratio": parallel.dedup_ratio,
+            "mean_read_amplification": parallel.mean_read_amplification,
+            "determinism": {
+                "result_identical": result_identical,
+                "trace_identical": trace_identical,
+                "trace_events": trace_events,
+            },
+            "wall_seconds": {
+                "jobs_1": serial.wall_seconds,
+                f"jobs_{args.jobs}": parallel.wall_seconds,
+            },
+            "shard_seconds": {str(k): v for k, v in shard_seconds.items()},
+            "headline": {
+                "measured_speedup": measured_speedup,
+                "ideal_speedup": ideal_speedup,
+                "min_speedup": args.min_speedup,
+                # Wall-clock speedup is only a fair gate when the host can
+                # actually run the workers concurrently.
+                "gate_on_measured": cpus >= args.jobs,
+            },
+        }
+    )
+
+    ok = result_identical and trace_identical
+    if not ok:
+        print("FAIL: jobs=N output is not byte-identical to jobs=1", file=sys.stderr)
+    elif not args.no_gate:
+        gated = measured_speedup if cpus >= args.jobs else ideal_speedup
+        kind = "measured" if cpus >= args.jobs else f"ideal (host has {cpus} cpu)"
+        if gated < args.min_speedup:
+            print(
+                f"FAIL: {kind} speedup {gated:.2f}x < {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(f"gate passed: {kind} speedup {gated:.2f}x", file=sys.stderr)
+    payload["gate_passed"] = ok
+    return payload, ok
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Fleet jobs-scaling benchmark (determinism + speedup)."
+    )
+    parser.add_argument(
+        "--preset", choices=sorted(FLEET_PRESETS), default="medium",
+        help="fleet size preset (default: %(default)s)",
+    )
+    parser.add_argument("--tenants", type=int, help="override tenant count")
+    parser.add_argument("--shards", type=int, help="override shard count")
+    parser.add_argument("--approach", default="gccdf", help="backup approach")
+    parser.add_argument("--seed", type=int, default=2025, help="fleet seed")
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="parallel job count (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="speedup gate threshold (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-gate", action="store_true",
+        help="record speedup report-only (determinism is always gated)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_fleet.json", help="output path (default: %(default)s)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.jobs < 2:
+        build_parser().error("--jobs must be >= 2 (the point is the comparison)")
+    payload, ok = run_benchmark(args)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"benchmark written to {args.out}", file=sys.stderr)
+    print(
+        json.dumps(
+            {
+                "determinism": payload["determinism"]["result_identical"]
+                and payload["determinism"]["trace_identical"],
+                "measured_speedup": round(payload["headline"]["measured_speedup"], 3),
+                "ideal_speedup": round(payload["headline"]["ideal_speedup"], 3),
+                "chunk_ops": payload["chunk_ops"],
+            }
+        )
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Deterministic simulated-time request scheduler for one shard.
+
+The scheduler turns a shard's tenant set into one merged, totally ordered
+request sequence — the fleet's analogue of the single-tenant
+:class:`~repro.backup.driver.RotationDriver` protocol, interleaved across
+tenants on simulated time:
+
+* Tenant ``t`` issues backup ``k`` at ``(k + jitter_t) · backup_period``,
+  where ``jitter_t ∈ [0, 1)`` is derived from the fleet seed and the tenant
+  name.  Jitter staggers tenants within a period, so a shard's ingest
+  stream interleaves its tenants in a reproducible but non-trivial order —
+  the regime where neighbor-only dedup collapses (paper §3.1).
+* Once a tenant's retention window is full, every ``turnover``-th ingest is
+  preceded by a ``rotate`` request (logically delete the tenant's oldest
+  ``turnover`` backups), and one final rotate lands after its last ingest —
+  the §6.1 rotation, per tenant.
+* The *shard* runs GC at fixed epochs ``g · gc_period`` (plus one final
+  epoch after the last rotate).  An epoch with no pending deletions is
+  skipped by the shard runner — GC is a shard-level background job, not a
+  per-tenant one, matching how an appliance amortises GC across tenants.
+* After the final GC epoch each tenant issues one ``restore`` request
+  covering all its live backups.
+
+Total order: requests sort by ``(time, kind priority, tenant, backup)``
+with priority rotate < gc < ingest < restore, so ties at one instant
+replay the driver's delete → GC → ingest round structure.  The schedule is
+a pure function of ``(tenants, retention, periods, seed)`` — no wall
+clock, no process state — which is what makes ``--jobs N`` shard execution
+byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fleet.topology import TenantSpec
+from repro.util.rng import DeterministicRng, derive_seed
+
+#: Tie-break order for requests landing on the same simulated instant.
+KIND_PRIORITY = {"rotate": 0, "gc": 1, "ingest": 2, "restore": 3}
+
+
+@dataclass(frozen=True)
+class Request:
+    """One scheduled operation.  ``tenant`` is empty for shard-level GC."""
+
+    time: float
+    kind: str
+    tenant: str = ""
+    #: Index into the tenant's backup stream (ingest requests only).
+    backup_index: int = -1
+
+    def sort_key(self) -> tuple:
+        return (self.time, KIND_PRIORITY[self.kind], self.tenant, self.backup_index)
+
+
+def tenant_jitter(fleet_seed: int, tenant_name: str) -> float:
+    """The tenant's phase offset within a backup period, in ``[0, 1)``."""
+    return DeterministicRng(derive_seed(fleet_seed, "sched", tenant_name)).random()
+
+
+def _tenant_requests(
+    spec: TenantSpec,
+    retained: int,
+    turnover: int,
+    backup_period: float,
+    jitter: float,
+) -> tuple[list[Request], float]:
+    """One tenant's ingest/rotate sequence and its end time."""
+    requests: list[Request] = []
+    for k in range(spec.num_backups):
+        at = (k + jitter) * backup_period
+        if k >= retained and (k - retained) % turnover == 0:
+            requests.append(Request(at, "rotate", spec.name))
+        requests.append(Request(at, "ingest", spec.name, backup_index=k))
+    end = (spec.num_backups + jitter) * backup_period
+    requests.append(Request(end, "rotate", spec.name))
+    return requests, end
+
+
+def shard_schedule(
+    tenants: Sequence[TenantSpec],
+    retained: int,
+    turnover: int,
+    backup_period: float,
+    gc_period: float,
+    fleet_seed: int,
+) -> tuple[Request, ...]:
+    """The shard's full request sequence, merged and totally ordered."""
+    requests: list[Request] = []
+    horizon = 0.0
+    jitters: dict[str, float] = {}
+    for spec in tenants:
+        jitter = tenant_jitter(fleet_seed, spec.name)
+        jitters[spec.name] = jitter
+        tenant_reqs, end = _tenant_requests(
+            spec, retained, turnover, backup_period, jitter
+        )
+        requests.extend(tenant_reqs)
+        horizon = max(horizon, end)
+
+    # Periodic GC epochs across the active window, plus one final epoch at
+    # the horizon — which coincides with the last rotate and, by kind
+    # priority, runs right after it (the driver's final delete-then-GC).
+    gc_times = set()
+    epoch = 1
+    while epoch * gc_period < horizon:
+        gc_times.add(epoch * gc_period)
+        epoch += 1
+    gc_times.add(horizon)
+    requests.extend(Request(at, "gc") for at in gc_times)
+
+    # Restores after the final GC, staggered by the same per-tenant jitter.
+    for spec in tenants:
+        requests.append(
+            Request(horizon + (1 + jitters[spec.name]) * backup_period, "restore", spec.name)
+        )
+
+    requests.sort(key=Request.sort_key)
+    return tuple(requests)

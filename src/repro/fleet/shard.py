@@ -1,0 +1,282 @@
+"""One shard's execution: services, the request loop, per-shard accounting.
+
+:func:`execute_shard` is the process-pool worker entry point: it receives a
+picklable :class:`ShardTask`, replays the shard's deterministic request
+schedule against freshly built services, and ships back a plain-data
+:class:`~repro.fleet.result.ShardResult` (plus the shard's trace events
+when tracing).  Everything it computes is a pure function of the task, so
+the runner can execute shards serially or fan them out over workers and
+merge byte-identical results either way.
+
+Dedup domains (see :mod:`repro.fleet.topology`):
+
+* ``shared`` — one :class:`~repro.backup.service.BackupService` serves the
+  whole shard; tenants deduplicate against each other and GC epochs sweep
+  the shard-wide store.
+* ``tenant`` — one service per tenant; a GC epoch visits each tenant
+  service with pending deletions, in tenant declaration order.
+
+Workload streams are materialised through a *shard-scoped*
+:class:`~repro.workloads.WorkloadCache`: tenants sharing a stream tuple
+reuse one generated stream, and because the cache's lifetime is exactly
+one shard execution, its hit/miss counters (surfaced as
+``runtime.workload_cache.*``) are identical whether the shard ran in the
+parent process or a worker.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.backup.approaches import service_factory
+from repro.backup.service import BackupService
+from repro.config import SystemConfig
+from repro.fleet.result import ShardResult
+from repro.fleet.scheduler import Request, shard_schedule
+from repro.fleet.topology import TenantSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TraceRecorder, Tracer
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one shard's execution depends on — picklable, pure."""
+
+    shard_id: int
+    tenants: tuple[TenantSpec, ...]
+    approach: str
+    dedup_domain: str
+    retained: int
+    turnover: int
+    backup_period: float
+    gc_period: float
+    seed: int
+    trace: bool = False
+
+
+class _ShardExecutor:
+    """Mutable state for one shard run (services, live ids, counters)."""
+
+    def __init__(self, task: ShardTask, tracer: Tracer | None):
+        from repro.workloads.datasets import WorkloadCache
+
+        self.task = task
+        self.tracer = tracer
+        self.registry = MetricsRegistry()
+        self.workloads = WorkloadCache()
+        self.config = SystemConfig.scaled(
+            retained=task.retained, turnover=task.turnover
+        )
+        self.build = service_factory(task.approach, self.config)
+        #: service key → service; ``"@shard"`` in the shared domain, the
+        #: tenant name in the tenant domain.  Built eagerly in declaration
+        #: order so construction order (and any construction-time events)
+        #: is deterministic.
+        self.services: dict[str, BackupService] = {}
+        if task.dedup_domain == "shared":
+            self.services["@shard"] = self.build(
+                seed=derive_seed(task.seed, "shard", task.shard_id), tracer=tracer
+            )
+        else:
+            for spec in task.tenants:
+                self.services[spec.name] = self.build(
+                    seed=derive_seed(task.seed, "tenant", spec.name), tracer=tracer
+                )
+        self.pending_deletes: dict[str, int] = {key: 0 for key in self.services}
+        self.live_ids: dict[str, list[int]] = {spec.name: [] for spec in task.tenants}
+        self.streams: dict[str, tuple] = {}
+        self.specs = {spec.name: spec for spec in task.tenants}
+        self.requests_executed: dict[str, int] = {}
+        self.tenant_summaries: dict[str, dict] = {
+            spec.name: {
+                "backups_ingested": 0,
+                "logical_bytes": 0,
+                "backups_restored": 0,
+                "read_amplification_sum": 0.0,
+                "live_backups": 0,
+            }
+            for spec in task.tenants
+        }
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
+
+    def _service_key(self, tenant: str) -> str:
+        return "@shard" if self.task.dedup_domain == "shared" else tenant
+
+    def _stream(self, tenant: str) -> tuple:
+        stream = self.streams.get(tenant)
+        if stream is None:
+            spec = self.specs[tenant]
+            stream = self.workloads.materialize(
+                spec.dataset, spec.workload_scale, spec.num_backups, spec.seed
+            )
+            self.streams[tenant] = stream
+        return stream
+
+    def _ingest(self, request: Request) -> None:
+        tenant = request.tenant
+        spec = self._stream(tenant)[request.backup_index]
+        service = self.services[self._service_key(tenant)]
+        result = service.ingest(spec.chunks, source=f"{tenant}:{spec.source}")
+        self.live_ids[tenant].append(result.backup_id)
+        registry = self.registry
+        registry.count("ingest.backups")
+        registry.count("ingest.chunks", result.num_chunks)
+        registry.count("ingest.logical_bytes", result.logical_bytes)
+        registry.count("ingest.stored_bytes", result.stored_bytes)
+        registry.count("ingest.dedup_bytes", result.dedup_bytes)
+        registry.count("ingest.rewritten_bytes", result.rewritten_bytes)
+        registry.count("ingest.containers_written", result.containers_written)
+        registry.observe("ingest.backup_stored_bytes", result.stored_bytes)
+        summary = self.tenant_summaries[tenant]
+        summary["backups_ingested"] += 1
+        summary["logical_bytes"] += result.logical_bytes
+
+    def _rotate(self, request: Request) -> None:
+        tenant = request.tenant
+        live = self.live_ids[tenant]
+        victims = live[: self.task.turnover]
+        if not victims:
+            return
+        key = self._service_key(tenant)
+        service = self.services[key]
+        for backup_id in victims:
+            service.delete_backup(backup_id)
+        del live[: len(victims)]
+        self.pending_deletes[key] += len(victims)
+        self.registry.count("fleet.deleted_backups", len(victims))
+
+    def _gc(self, request: Request) -> None:
+        ran = False
+        for key, service in self.services.items():
+            if not self.pending_deletes[key]:
+                continue
+            report = service.run_gc()
+            self.pending_deletes[key] = 0
+            ran = True
+            registry = self.registry
+            registry.count("gc.rounds")
+            registry.count("gc.backups_purged", report.backups_purged)
+            registry.count("gc.containers_involved", report.involved_containers)
+            registry.count("gc.containers_reclaimed", report.reclaimed_containers)
+            registry.count("gc.containers_produced", report.produced_containers)
+            registry.count("gc.migrated_bytes", report.migrated_bytes)
+            registry.count("gc.migrated_chunks", report.migrated_chunks)
+            registry.count("gc.reclaimed_bytes", report.reclaimed_bytes)
+            registry.count("phase_seconds.gc.mark", report.mark_seconds)
+            registry.count("phase_seconds.gc.analyze", report.analyze_seconds)
+            registry.count("phase_seconds.gc.sweep_read", report.sweep_read_seconds)
+            registry.count("phase_seconds.gc.sweep_write", report.sweep_write_seconds)
+            registry.observe("gc.round_seconds", report.total_seconds)
+        if not ran:
+            self.requests_executed["gc_skipped"] = (
+                self.requests_executed.get("gc_skipped", 0) + 1
+            )
+
+    def _restore(self, request: Request) -> None:
+        tenant = request.tenant
+        service = self.services[self._service_key(tenant)]
+        summary = self.tenant_summaries[tenant]
+        registry = self.registry
+        for backup_id in self.live_ids[tenant]:
+            report = service.restore(backup_id)
+            registry.count("restore.backups")
+            registry.count("restore.chunks", report.num_chunks)
+            registry.count("restore.containers_read", report.containers_read)
+            registry.count("restore.container_bytes_read", report.container_bytes_read)
+            registry.count("restore.logical_bytes", report.logical_bytes)
+            registry.count("restore.cache_hits", report.cache_hits)
+            registry.count("phase_seconds.restore", report.read_seconds)
+            registry.observe("restore.read_amplification", report.read_amplification)
+            registry.observe("restore.backup_seconds", report.read_seconds)
+            summary["backups_restored"] += 1
+            summary["read_amplification_sum"] += report.read_amplification
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    _HANDLERS = {
+        "ingest": _ingest,
+        "rotate": _rotate,
+        "gc": _gc,
+        "restore": _restore,
+    }
+
+    def run(self) -> ShardResult:
+        task = self.task
+        schedule = shard_schedule(
+            task.tenants,
+            task.retained,
+            task.turnover,
+            task.backup_period,
+            task.gc_period,
+            task.seed,
+        )
+        for request in schedule:
+            self._HANDLERS[request.kind](self, request)
+            self.requests_executed[request.kind] = (
+                self.requests_executed.get(request.kind, 0) + 1
+            )
+
+        registry = self.registry
+        registry.count("fleet.shards")
+        registry.count("fleet.tenants", len(task.tenants))
+        registry.count("fleet.services", len(self.services))
+        for kind, count in self.requests_executed.items():
+            registry.count(f"fleet.requests.{kind}", count)
+
+        stats_sums = {
+            "cumulative_logical_bytes": 0,
+            "cumulative_stored_bytes": 0,
+            "physical_bytes": 0,
+        }
+        runtime_sums: dict[str, int | float] = dict(self.workloads.counters())
+        for key in sorted(self.services):
+            service = self.services[key]
+            stats = service.stats()
+            stats_sums["cumulative_logical_bytes"] += stats.cumulative_logical_bytes
+            stats_sums["cumulative_stored_bytes"] += stats.cumulative_stored_bytes
+            stats_sums["physical_bytes"] += stats.physical_bytes
+            for name, value in service.runtime_metrics().items():
+                runtime_sums[name] = runtime_sums.get(name, 0) + value
+        for name, value in stats_sums.items():
+            registry.count(f"service.{name}", value)
+        for name in sorted(runtime_sums):
+            registry.count(f"runtime.{name}", runtime_sums[name])
+
+        for spec in task.tenants:
+            self.tenant_summaries[spec.name]["live_backups"] = len(
+                self.live_ids[spec.name]
+            )
+
+        return ShardResult(
+            shard_id=task.shard_id,
+            tenants=[spec.name for spec in task.tenants],
+            requests=dict(sorted(self.requests_executed.items())),
+            stats=stats_sums,
+            tenant_summaries={
+                name: dict(summary)
+                for name, summary in sorted(self.tenant_summaries.items())
+            },
+            metrics=registry.to_dict(),
+        )
+
+
+def run_shard(task: ShardTask, tracer: Tracer | None = None) -> ShardResult:
+    """Execute one shard in this process."""
+    return _ShardExecutor(task, tracer).run()
+
+
+def execute_shard(task: ShardTask) -> tuple[dict, float, list[dict] | None]:
+    """Worker-side entry point: run one shard, ship plain data back
+    (``ShardResult.to_dict()``, wall seconds, trace events when tracing)."""
+    started = time.perf_counter()
+    recorder = TraceRecorder() if task.trace else None
+    result = run_shard(task, tracer=recorder)
+    seconds = time.perf_counter() - started
+    return result.to_dict(), seconds, recorder.to_dicts() if recorder else None

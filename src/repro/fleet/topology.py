@@ -1,0 +1,232 @@
+"""Fleet topology: tenants, shards, and the stable tenant→shard placement.
+
+A fleet is N *tenants* (independent backup sources, each running its own
+rotation) hashed across M *shards* (independent index/store partitions,
+each a full :class:`~repro.backup.service.BackupService` stack).  Because
+placement is a pure hash of the tenant name, it is stable across runs,
+processes, and Python versions — the property the process-parallel runner
+leans on: a shard's work is a pure function of its tenant set, so shards
+can execute anywhere and merge deterministically.
+
+**Balance bound.**  Placement uses :func:`~repro.util.rng.derive_seed`
+(BLAKE2b, 64-bit) reduced mod ``num_shards``, which behaves as a uniform
+hash.  The documented bound — enforced by the property test in
+``tests/test_fleet.py`` — is: for ``T`` tenants over ``S`` shards with
+``T ≥ 64·S``, every shard holds between ``T/(2S)`` and ``2T/S`` tenants.
+(Binomial concentration makes violations astronomically unlikely: at the
+bound's tightest point the slack is >4 standard deviations.)
+
+**Dedup domains.**  ``dedup_domain`` selects what a shard's tenants share:
+
+* ``"shared"`` — one service per shard; every tenant on the shard
+  deduplicates against every other (cross-tenant dedup, shared GC).
+* ``"tenant"`` — one service per tenant (full isolation: no cross-tenant
+  dedup, per-tenant GC cost, no shared-index contention).
+
+Comparing the two domains on the same tenant set quantifies the paper-era
+trade-off RevDedup (arXiv 1302.0621) motivates: dedup ratio vs. isolation
+vs. GC cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.backup.approaches import APPROACHES
+from repro.errors import ConfigError
+from repro.util.rng import derive_seed
+from repro.workloads.datasets import DATASET_NAMES, DEFAULT_SEED
+
+#: Root of the placement hash space; part of the fleet's determinism
+#: contract (changing it reshuffles every fleet's tenant→shard map).
+PLACEMENT_SEED = 0xF1EE7
+
+#: Valid ``dedup_domain`` values.
+DEDUP_DOMAINS = ("shared", "tenant")
+
+
+def shard_of(tenant_name: str, num_shards: int) -> int:
+    """The shard a tenant lives on: a stable BLAKE2b hash of its name."""
+    if num_shards <= 0:
+        raise ConfigError(f"num_shards must be positive, got {num_shards}")
+    return derive_seed(PLACEMENT_SEED, tenant_name) % num_shards
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: its name, workload preset, and stream identity.
+
+    Two tenants sharing the same ``(dataset, workload_scale, num_backups,
+    seed)`` tuple back up *identical* streams — the fleet's model for
+    correlated sources (golden OS images, shared application data), and
+    exactly what the per-shard :class:`~repro.workloads.WorkloadCache`
+    memoizes.
+    """
+
+    name: str
+    dataset: str
+    workload_scale: float
+    num_backups: int
+    seed: int = DEFAULT_SEED
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.dataset not in DATASET_NAMES:
+            raise ConfigError(
+                f"tenant {self.name!r}: unknown dataset {self.dataset!r}; "
+                f"choose from {DATASET_NAMES}"
+            )
+        if self.workload_scale <= 0:
+            raise ConfigError(f"tenant {self.name!r}: workload_scale must be positive")
+        if self.num_backups <= 0:
+            raise ConfigError(f"tenant {self.name!r}: num_backups must be positive")
+
+    def stream_key(self) -> tuple:
+        """The workload-cache key this tenant's stream is memoized under."""
+        return (self.dataset, float(self.workload_scale), int(self.num_backups), int(self.seed))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "dataset": self.dataset,
+            "workload_scale": self.workload_scale,
+            "num_backups": self.num_backups,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything a fleet run is a deterministic function of."""
+
+    tenants: tuple[TenantSpec, ...]
+    num_shards: int = 4
+    approach: str = "gccdf"
+    dedup_domain: str = "shared"
+    #: Per-tenant retention window and per-rotation deletion count
+    #: (the §6.1 rotation, applied tenant-by-tenant).
+    retained: int = 6
+    turnover: int = 2
+    #: Simulated time between a tenant's consecutive backups.
+    backup_period: float = 1.0
+    #: Simulated time between shard-level GC epochs (GC only runs at an
+    #: epoch when deletions are pending — see the scheduler).
+    gc_period: float = 4.0
+    #: Root seed for scheduler jitter and per-service (GCCDF migration) RNGs.
+    seed: int = 2025
+
+    def __post_init__(self):
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+
+    def validate(self) -> None:
+        if not self.tenants:
+            raise ConfigError("a fleet needs at least one tenant")
+        if self.num_shards <= 0:
+            raise ConfigError(f"num_shards must be positive, got {self.num_shards}")
+        if self.approach not in APPROACHES:
+            raise ConfigError(
+                f"unknown approach {self.approach!r}; choose from {APPROACHES}"
+            )
+        if self.dedup_domain not in DEDUP_DOMAINS:
+            raise ConfigError(
+                f"unknown dedup_domain {self.dedup_domain!r}; "
+                f"choose from {DEDUP_DOMAINS}"
+            )
+        if self.retained <= 0 or self.turnover <= 0:
+            raise ConfigError("retained and turnover must be positive")
+        if self.turnover > self.retained:
+            raise ConfigError("cannot turn over more backups than are retained")
+        if self.backup_period <= 0 or self.gc_period <= 0:
+            raise ConfigError("backup_period and gc_period must be positive")
+        names = set()
+        for tenant in self.tenants:
+            tenant.validate()
+            if tenant.name in names:
+                raise ConfigError(f"duplicate tenant name {tenant.name!r}")
+            names.add(tenant.name)
+
+    def shard_tenants(self) -> tuple[tuple[TenantSpec, ...], ...]:
+        """Tenants grouped by shard, preserving fleet declaration order
+        within each shard (index = shard id)."""
+        groups: list[list[TenantSpec]] = [[] for _ in range(self.num_shards)]
+        for tenant in self.tenants:
+            groups[shard_of(tenant.name, self.num_shards)].append(tenant)
+        return tuple(tuple(group) for group in groups)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.tenants)} tenants / {self.num_shards} shards, "
+            f"approach={self.approach}, domain={self.dedup_domain}, "
+            f"retention {self.retained}/{self.turnover}"
+        )
+
+    def with_overrides(self, **kwargs) -> "FleetConfig":
+        """A copy with the given fields replaced (validated)."""
+        config = replace(self, **kwargs)
+        config.validate()
+        return config
+
+    @classmethod
+    def synthetic(
+        cls,
+        num_tenants: int,
+        num_shards: int,
+        *,
+        datasets: Sequence[str] = ("web", "mix", "code", "syn"),
+        workload_scale: float = 0.05,
+        backups_per_tenant: int = 10,
+        stream_pool: int | None = None,
+        approach: str = "gccdf",
+        dedup_domain: str = "shared",
+        retained: int = 6,
+        turnover: int = 2,
+        backup_period: float = 1.0,
+        gc_period: float = 4.0,
+        seed: int = 2025,
+    ) -> "FleetConfig":
+        """A synthetic fleet: tenants round-robin over ``datasets``.
+
+        ``stream_pool`` bounds the number of *distinct* workload streams per
+        dataset: tenant ``i`` draws its stream seed from pool slot
+        ``i % stream_pool``, so tenants sharing a slot (and dataset) back up
+        identical data — the correlated-sources regime where cross-tenant
+        dedup domains win and the workload cache pays.  ``None`` gives every
+        tenant its own stream.
+        """
+        if num_tenants <= 0:
+            raise ConfigError(f"num_tenants must be positive, got {num_tenants}")
+        if stream_pool is not None and stream_pool <= 0:
+            raise ConfigError(f"stream_pool must be positive or None, got {stream_pool}")
+        tenants = []
+        for i in range(num_tenants):
+            name = f"t{i:05d}"
+            dataset_name = datasets[i % len(datasets)]
+            slot = i % stream_pool if stream_pool is not None else i
+            tenants.append(
+                TenantSpec(
+                    name=name,
+                    dataset=dataset_name,
+                    workload_scale=workload_scale,
+                    num_backups=backups_per_tenant,
+                    seed=derive_seed(seed, "stream", dataset_name, slot),
+                )
+            )
+        config = cls(
+            tenants=tuple(tenants),
+            num_shards=num_shards,
+            approach=approach,
+            dedup_domain=dedup_domain,
+            retained=retained,
+            turnover=turnover,
+            backup_period=backup_period,
+            gc_period=gc_period,
+            seed=seed,
+        )
+        config.validate()
+        return config

@@ -23,7 +23,7 @@ makes that attribution first-class instead of ad hoc:
   from an emitted trace file alone (``python -m repro.obs.report``).
 """
 
-from repro.obs.metrics import MetricsRegistry, rotation_metrics
+from repro.obs.metrics import MetricsRegistry, merge_metric_payloads, rotation_metrics
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -36,6 +36,7 @@ from repro.obs.tracer import (
 
 __all__ = [
     "MetricsRegistry",
+    "merge_metric_payloads",
     "NULL_TRACER",
     "NullTracer",
     "TraceEvent",

@@ -168,3 +168,17 @@ def rotation_metrics(result, stats=None, runtime=None) -> dict:
             registry.count(f"runtime.{name}", runtime[name])
 
     return registry.to_dict()
+
+
+def merge_metric_payloads(payloads) -> dict:
+    """Fold many ``MetricsRegistry.to_dict()`` payloads into one.
+
+    Counters sum, histograms combine (count/sum/min/max compose), and the
+    result is in sorted ``to_dict`` form — so merging is associative and
+    deterministic in any order.  The fleet runner uses this to roll
+    per-shard metrics up into the fleet-wide payload.
+    """
+    registry = MetricsRegistry()
+    for payload in payloads:
+        registry.merge(payload)
+    return registry.to_dict()

@@ -14,7 +14,9 @@ from repro.workloads.source import MutationProfile, MutatingSource
 from repro.workloads.datasets import (
     Dataset,
     DATASET_NAMES,
+    WorkloadCache,
     dataset,
+    materialize_dataset,
     web,
     wiki,
     code,
@@ -30,7 +32,9 @@ __all__ = [
     "MutatingSource",
     "Dataset",
     "DATASET_NAMES",
+    "WorkloadCache",
     "dataset",
+    "materialize_dataset",
     "web",
     "wiki",
     "code",

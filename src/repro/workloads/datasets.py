@@ -274,3 +274,72 @@ def dataset(name: str, **kwargs) -> Dataset:
             f"unknown dataset {name!r}; choose from {DATASET_NAMES}"
         ) from None
     return factory(**kwargs)
+
+
+class WorkloadCache:
+    """Memoizes materialised backup streams by (dataset, scale, backups, seed).
+
+    Generating a workload stream is pure — the same preset parameters always
+    produce the identical :class:`~repro.backup.driver.BackupSpec` sequence —
+    but not free: chunking and mutation simulation dominate setup time at
+    fleet scale.  A cache instance materialises each distinct parameter tuple
+    once and hands every later requester the same immutable tuple.  ``hits``
+    and ``misses`` feed runtime metrics (``runtime.workload_cache.*``).
+
+    Scoping is the caller's determinism lever: the fleet shard runner creates
+    one cache *per shard execution*, so its hit counters are a pure function
+    of the shard's tenants — identical whether shards run serially in one
+    process or fan out over workers.  The module-level default instance
+    behind :func:`materialize_dataset` is for single-process callers (tools,
+    benchmarks) where cross-call reuse is the point.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[tuple, tuple[BackupSpec, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def materialize(
+        self,
+        name: str,
+        scale: float,
+        num_backups: int,
+        seed: int = DEFAULT_SEED,
+    ) -> tuple[BackupSpec, ...]:
+        """The preset's full backup stream, generated at most once per key."""
+        key = (name, float(scale), int(num_backups), int(seed))
+        stream = self._streams.get(key)
+        if stream is not None:
+            self.hits += 1
+            return stream
+        self.misses += 1
+        stream = tuple(
+            dataset(name, scale=scale, num_backups=num_backups, seed=seed)
+        )
+        self._streams[key] = stream
+        return stream
+
+    def counters(self) -> dict[str, int]:
+        """Hit/miss counters in runtime-metrics form."""
+        return {"workload_cache.hits": self.hits, "workload_cache.misses": self.misses}
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+
+#: Process-wide default cache behind :func:`materialize_dataset`.
+_DEFAULT_CACHE = WorkloadCache()
+
+
+def materialize_dataset(
+    name: str,
+    scale: float,
+    num_backups: int,
+    seed: int = DEFAULT_SEED,
+    cache: WorkloadCache | None = None,
+) -> tuple[BackupSpec, ...]:
+    """Materialise a preset's backup stream through a :class:`WorkloadCache`
+    (the process-wide default unless ``cache`` is given)."""
+    return (cache if cache is not None else _DEFAULT_CACHE).materialize(
+        name, scale, num_backups, seed
+    )
