@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Incremental-GC benchmark — thin wrapper over :mod:`repro.gc.incbench`.
+
+Gates (1) drained-equivalence: budgeted incremental GC ends every approach
+in exactly the stop-the-world state at the same simulated cost, and
+(2) fleet interleaving: incremental mode's GC cost stays within tolerance
+of stop-the-world while ``gc_step`` requests interleave collection with
+foreground traffic, byte-identically across ``--jobs``::
+
+    PYTHONPATH=src python benchmarks/incgc.py \\
+        --out benchmarks/results/BENCH_incgc.json
+
+See docs/incremental-gc.md for how to read ``BENCH_incgc.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.gc.incbench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

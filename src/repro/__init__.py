@@ -62,7 +62,7 @@ from repro.fleet import (
     run_fleet,
     shard_of,
 )
-from repro.gc import MarkSweepGC, NaiveMigration
+from repro.gc import GCBudget, IncrementalGC, MarkSweepGC, NaiveMigration
 from repro.index.columnar import ColumnarRecipe
 from repro.index.interning import FingerprintInterner
 from repro.mfdedup import MFDedupService
@@ -111,6 +111,8 @@ __all__ = [
     "run_fleet",
     "shard_of",
     "GCCDFMigration",
+    "GCBudget",
+    "IncrementalGC",
     "MarkSweepGC",
     "NaiveMigration",
     "ColumnarRecipe",

@@ -38,6 +38,8 @@ def make_service(
     tracer: Tracer | None = None,
     faults: FaultPlan | None = None,
     columnar: bool | None = None,
+    gc_mode: str = "stw",
+    gc_budget=None,
     **policy_kwargs,
 ) -> BackupService:
     """Build a backup service for one approach.
@@ -54,11 +56,17 @@ def make_service(
     ``ChunkRef`` tuples — outputs are identical; only speed differs);
     ``None`` defers to the ``REPRO_HOTPATH`` environment variable
     (``legacy`` forces the tuple path, anything else the default columns).
+    ``gc_mode="incremental"`` swaps the stop-the-world GC for the budgeted
+    :class:`~repro.gc.incremental.IncrementalGC` (``gc_budget`` sizes its
+    increments); a drained incremental cycle is counter-identical to one
+    stop-the-world ``run_gc``.
     """
     config = config or SystemConfig.scaled()
     if columnar is None:
         columnar = os.environ.get("REPRO_HOTPATH", "").lower() != "legacy"
-    service = _build_service(approach, config, seed, tracer, columnar, **policy_kwargs)
+    service = _build_service(
+        approach, config, seed, tracer, columnar, gc_mode, gc_budget, **policy_kwargs
+    )
     if faults is not None:
         service.disk.faults = faults
     return service
@@ -68,6 +76,8 @@ def service_factory(
     approach: str,
     config: SystemConfig | None = None,
     columnar: bool | None = None,
+    gc_mode: str = "stw",
+    gc_budget=None,
     **policy_kwargs,
 ):
     """Bind an approach and config once; build instances on demand.
@@ -90,6 +100,8 @@ def service_factory(
             seed=seed,
             tracer=tracer,
             columnar=columnar,
+            gc_mode=gc_mode,
+            gc_budget=gc_budget,
             **policy_kwargs,
         )
 
@@ -102,10 +114,15 @@ def _build_service(
     seed: int,
     tracer: Tracer | None,
     columnar: bool,
+    gc_mode: str = "stw",
+    gc_budget=None,
     **policy_kwargs,
 ) -> BackupService:
+    gc_kwargs = {"gc_mode": gc_mode, "gc_budget": gc_budget}
     if approach == "mfdedup":
-        return MFDedupService(config=config, tracer=tracer, columnar=columnar)
+        return MFDedupService(
+            config=config, tracer=tracer, columnar=columnar, **gc_kwargs
+        )
     if approach == "nondedup":
         return DedupBackupService(
             config=config,
@@ -114,6 +131,7 @@ def _build_service(
             name="nondedup",
             tracer=tracer,
             columnar=columnar,
+            **gc_kwargs,
         )
     if approach == "gccdf":
         return DedupBackupService(
@@ -122,6 +140,7 @@ def _build_service(
             name="gccdf",
             tracer=tracer,
             columnar=columnar,
+            **gc_kwargs,
         )
     if approach in ("naive", "capping", "har", "smr"):
         service = DedupBackupService(
@@ -130,6 +149,7 @@ def _build_service(
             name=approach,
             tracer=tracer,
             columnar=columnar,
+            **gc_kwargs,
         )
         if approach != "naive":
             service.pipeline.rewriting = make_rewriting(

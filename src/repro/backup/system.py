@@ -25,6 +25,7 @@ from repro.config import SystemConfig
 from repro.dedup.pipeline import IngestPipeline, IngestResult
 from repro.dedup.rewriting.base import RewritingPolicy
 from repro.gc.engine import MarkSweepGC
+from repro.gc.incremental import GCBudget, IncrementalGC
 from repro.gc.migration import MigrationStrategy
 from repro.gc.report import GCReport
 from repro.index.fingerprint_index import FingerprintIndex
@@ -48,6 +49,8 @@ class DedupBackupService(BackupService):
         name: str = "naive",
         tracer: Tracer | None = None,
         columnar: bool = True,
+        gc_mode: str = "stw",
+        gc_budget: GCBudget | None = None,
     ):
         self.config = config or SystemConfig.scaled()
         self.config.validate()
@@ -76,13 +79,19 @@ class DedupBackupService(BackupService):
             disk=self.disk,
             cache_containers=self.config.restore_cache_containers,
         )
-        self.gc = MarkSweepGC(
+        if gc_mode not in ("stw", "incremental"):
+            raise ValueError(f"unknown gc_mode {gc_mode!r}; choose 'stw' or 'incremental'")
+        self.gc_mode = gc_mode
+        gc_cls = IncrementalGC if gc_mode == "incremental" else MarkSweepGC
+        gc_kwargs = {"budget": gc_budget} if gc_mode == "incremental" else {}
+        self.gc = gc_cls(
             config=self.config,
             store=self.store,
             index=self.index,
             recipes=self.recipes,
             disk=self.disk,
             migration=migration,
+            **gc_kwargs,
         )
         self._cumulative_logical = 0
         self._cumulative_stored = 0
@@ -97,6 +106,12 @@ class DedupBackupService(BackupService):
         self._cumulative_logical += result.logical_bytes
         self._cumulative_stored += result.stored_bytes
         self.ingest_history.append(result)
+        if self.gc_mode == "incremental":
+            # Live-reference barrier: a cycle in flight must never sweep a
+            # chunk this new backup just deduplicated against.
+            self.gc.note_live_references(
+                self.recipes.get(result.backup_id).unique_fingerprints()
+            )
         return result
 
     def delete_backup(self, backup_id: int) -> None:

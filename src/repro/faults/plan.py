@@ -40,6 +40,8 @@ CRASH_POINTS = (
     "mfdedup.migrate",
     # MFDedup reorg intent journaled, expired volumes not yet unlinked.
     "mfdedup.reorg",
+    # Boundary between two budgeted increments of an incremental GC cycle.
+    "gc.increment",
 )
 
 #: Crash points reachable by the shared container-based GC protocol.
@@ -52,13 +54,23 @@ CONTAINER_POINTS = (
 )
 
 #: Crash points reachable per approach name (``make_service`` spelling).
-def points_for(approach: str) -> tuple[str, ...]:
-    """The crash points an approach's data path can actually reach."""
+def points_for(approach: str, gc_mode: str = "stw") -> tuple[str, ...]:
+    """The crash points an approach's data path can actually reach.
+
+    ``gc_mode="incremental"`` adds the ``gc.increment`` boundary point; the
+    copy-forward seal/reclaim protocol and every other point are unchanged
+    (incremental cycles journal one ``gc.cycle`` intent instead of per-round
+    ``sweep`` intents, but ``gc.purge`` still guards the final purge).
+    """
     if approach == "mfdedup":
-        return ("mfdedup.migrate", "mfdedup.reorg")
-    if approach == "gccdf":
-        return CONTAINER_POINTS + ("gccdf.segment",)
-    return CONTAINER_POINTS
+        base = ("mfdedup.migrate", "mfdedup.reorg")
+    elif approach == "gccdf":
+        base = CONTAINER_POINTS + ("gccdf.segment",)
+    else:
+        base = CONTAINER_POINTS
+    if gc_mode == "incremental":
+        return base + ("gc.increment",)
+    return base
 
 
 @dataclass(frozen=True)

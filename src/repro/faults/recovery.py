@@ -27,6 +27,15 @@ mfdedup.ingest     open       **roll back** — undo recorded volume
                               lifecycle chain)
 volume.reorg       any        **roll forward** — replay ``drop_expired`` and
                               the per-volume unlink writes (idempotent)
+gc.cycle           committed  **roll forward** — finish the selective purge
+                              of the cycle's deleted-recipe snapshot
+gc.cycle           open       **resume** — repair the persistent cycle state
+                              in place (scrub moves whose repoint did not
+                              survive, drop the placement memo, rewind the
+                              sweep frontier past reclaimed sources) and
+                              leave the intent *open*: the incremental
+                              engine resumes the cycle from the journal
+                              rather than restarting it
 =================  =========  ==============================================
 
 One repair is record-less: recovery also scrubs *dangling* index keys —
@@ -75,6 +84,8 @@ class RecoveryReport:
     volumes_dropped: int = 0
     #: Logically deleted backups purged by a replayed sweep commit.
     backups_purged: int = 0
+    #: Incremental GC cycles repaired in place and left open to resume.
+    cycles_resumed: int = 0
 
     @property
     def rolled_back(self) -> int:
@@ -91,6 +102,8 @@ class RecoveryReport:
 
     def record(self, journal: IntentJournal, rec: IntentRecord, action: str, **detail) -> None:
         self.actions.append(RecoveryAction(kind=rec.kind, action=action, detail=detail))
+        if action == "resume":
+            return  # the intent stays open: its cycle resumes from the journal
         if rec.state == OPEN:
             if action == "replay":
                 journal.commit(rec)
@@ -110,7 +123,8 @@ class RecoveryReport:
             f"{self.index_keys_fixed} index keys fixed, "
             f"{self.migrations_rolled_back} volume migrations undone, "
             f"{self.volumes_dropped} volumes dropped, "
-            f"{self.backups_purged} backups purged"
+            f"{self.backups_purged} backups purged, "
+            f"{self.cycles_resumed} GC cycles resumed"
         )
 
 
@@ -210,6 +224,62 @@ def recover(store, index, recipes) -> RecoveryReport:
             )
             _emit(disk, report.actions[-1])
 
+        # 5. Incremental GC cycles.  Committed → only the selective purge of
+        #    the cycle's snapshot can be missing; finish it.  Open → repair
+        #    the persistent cycle state in place and leave the intent open,
+        #    so the engine *resumes* the cycle instead of restarting it.
+        for rec in journal.committed_records("gc.cycle"):
+            state = rec.payload["state"]
+            purged = recipes.purge_deleted(only=state.deleted_ids)
+            report.backups_purged += len(purged)
+            report.record(
+                journal, rec, "replay",
+                round_index=state.round_index, backups_purged=len(purged),
+            )
+            _emit(disk, report.actions[-1])
+        for rec in journal.open_records("gc.cycle"):
+            state = rec.payload["state"]
+            # Moves whose repoint did not survive the crash (their
+            # destination was rolled back above) must be re-migrated.
+            stale_moves = [
+                fp
+                for fp, dest in state.migrated.items()
+                if fp not in index or index.get(fp).container_id != dest
+            ]
+            for fp in stale_moves:
+                del state.migrated[fp]
+            # Placements may have been repaired; the probe memo is stale.
+            state.resolved.clear()
+            if state.phase in ("sweep", "finalize"):
+                # Rewind the sweep frontier: already-reclaimed sources are
+                # gone from the store, everything else re-partitions (the
+                # copy-forward duplicate guard makes re-processing durable
+                # moves free, and fully-valid sources are skipped).
+                state.phase = "sweep"
+                state.sweep_queue = [
+                    cid for cid in state.sweep_queue if cid in store
+                ]
+                state.sweep_pos = 0
+                state.segment_batches = [
+                    batch
+                    for batch in (
+                        [cid for cid in b if cid in store]
+                        for b in state.segment_batches
+                    )
+                    if batch
+                ]
+                state.segment_pos = 0
+                state.requeue = [cid for cid in state.requeue if cid in store]
+            state.dirty = True
+            report.cycles_resumed += 1
+            report.record(
+                journal, rec, "resume",
+                round_index=state.round_index,
+                phase=state.phase,
+                stale_moves=len(stale_moves),
+            )
+            _emit(disk, report.actions[-1])
+
         ph.annotate(
             rolled_back=report.rolled_back,
             replayed=report.replayed,
@@ -253,6 +323,20 @@ def recover_mfdedup(volumes, recipes) -> RecoveryReport:
                 oldest_live=rec.payload["oldest_live"],
                 volumes_dropped=dropped,
                 bytes_dropped=dropped_bytes,
+            )
+            _emit(disk, report.actions[-1])
+
+        # Incremental MFDedup cycles roll *forward*: the selective purge is
+        # idempotent and the volume drops were completed by the reorg replay
+        # above, so finishing the cycle is always safe (the engine observes
+        # its intent closed and starts the next cycle fresh).
+        for rec in journal.records("gc.cycle"):
+            state = rec.payload["state"]
+            purged = recipes.purge_deleted(only=state.deleted_ids)
+            report.backups_purged += len(purged)
+            report.record(
+                journal, rec, "replay",
+                round_index=state.round_index, backups_purged=len(purged),
             )
             _emit(disk, report.actions[-1])
 

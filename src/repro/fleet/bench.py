@@ -32,7 +32,8 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.fleet.cli import FLEET_PRESETS
+from repro.errors import ConfigError
+from repro.fleet.cli import FLEET_PRESETS, resolve_preset
 from repro.fleet.runner import run_fleet
 from repro.fleet.topology import FleetConfig
 
@@ -45,7 +46,7 @@ def usable_cpus() -> int:
 
 
 def build_config(args: argparse.Namespace) -> FleetConfig:
-    params = dict(FLEET_PRESETS[args.preset])
+    params = resolve_preset(args.preset)
     if args.tenants is not None:
         params["num_tenants"] = args.tenants
     if args.shards is not None:
@@ -149,8 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Fleet jobs-scaling benchmark (determinism + speedup)."
     )
     parser.add_argument(
-        "--preset", choices=sorted(FLEET_PRESETS), default="medium",
-        help="fleet size preset (default: %(default)s)",
+        "--preset", default="medium",
+        help=f"fleet size preset, one of {sorted(FLEET_PRESETS)} "
+        "(default: %(default)s)",
     )
     parser.add_argument("--tenants", type=int, help="override tenant count")
     parser.add_argument("--shards", type=int, help="override shard count")
@@ -177,7 +179,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.jobs < 2:
         build_parser().error("--jobs must be >= 2 (the point is the comparison)")
-    payload, ok = run_benchmark(args)
+    try:
+        payload, ok = run_benchmark(args)
+    except ConfigError as exc:
+        build_parser().error(str(exc))
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -47,9 +47,20 @@ FLEET_PRESETS = {
 }
 
 
+def resolve_preset(name: str) -> dict:
+    """The preset's parameter dict, or a :class:`ConfigError` naming the
+    valid presets — never a silent fallback or a bare ``KeyError``."""
+    try:
+        return dict(FLEET_PRESETS[name])
+    except KeyError:
+        raise ConfigError(
+            f"unknown fleet preset {name!r}; choose from {sorted(FLEET_PRESETS)}"
+        ) from None
+
+
 def build_config(args: argparse.Namespace) -> FleetConfig:
     """Resolve preset + overrides into a validated :class:`FleetConfig`."""
-    params = dict(FLEET_PRESETS[args.preset])
+    params = resolve_preset(args.preset)
     if args.tenants is not None:
         params["num_tenants"] = args.tenants
     if args.shards is not None:
@@ -73,6 +84,11 @@ def build_config(args: argparse.Namespace) -> FleetConfig:
         datasets=datasets,
         approach=args.approach,
         dedup_domain=args.domain,
+        gc_mode=args.gc_mode,
+        gc_step_period=args.gc_step_period,
+        gc_mark_budget=args.gc_mark_budget,
+        gc_sweep_budget=args.gc_sweep_budget,
+        gc_trigger_deleted=args.gc_trigger,
         seed=args.seed,
         **params,
     )
@@ -111,8 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Sharded multi-tenant backup fleet on simulated time.",
     )
     parser.add_argument(
-        "--preset", choices=sorted(FLEET_PRESETS), default="quick",
-        help="synthetic fleet size preset (default: %(default)s)",
+        "--preset", default="quick",
+        help=f"synthetic fleet size preset, one of {sorted(FLEET_PRESETS)} "
+        "(default: %(default)s)",
     )
     parser.add_argument("--tenants", type=int, help="override tenant count")
     parser.add_argument("--shards", type=int, help="override shard count")
@@ -137,6 +154,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--retained", type=int, help="override retention window")
     parser.add_argument("--turnover", type=int, help="override per-rotation deletions")
+    parser.add_argument(
+        "--gc-mode", choices=("stw", "incremental"), default="stw",
+        help="GC execution mode: stop-the-world epochs or budgeted "
+        "increments interleaved with foreground traffic (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--gc-step-period", type=float, default=0.25,
+        help="simulated time between gc_step requests in incremental mode "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--gc-mark-budget", type=int, default=8,
+        help="recipes marked per GC increment (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--gc-sweep-budget", type=int, default=4,
+        help="sweep sources / MFDedup volumes per GC increment (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--gc-trigger", type=int, default=1,
+        help="pending deletions required before an epoch starts a new "
+        "incremental cycle (default: %(default)s)",
+    )
     parser.add_argument("--seed", type=int, default=2025, help="fleet seed")
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",

@@ -35,6 +35,13 @@ class ShardResult:
     tenant_summaries: dict[str, dict] = field(default_factory=dict)
     #: Shard-scoped :class:`~repro.obs.metrics.MetricsRegistry` payload.
     metrics: dict = field(default_factory=dict)
+    #: Nonzero per-ingest stall samples (simulated seconds an ingest
+    #: queued behind GC device time), in request order.  Zero-stall
+    #: ingests are implied by the ``fleet.ingest_stall`` histogram count,
+    #: so quantiles over *all* ingests are exact without shipping zeros.
+    ingest_stalls: list[float] = field(default_factory=list)
+    #: Per-GC-burst device-time samples (simulated seconds), request order.
+    gc_pauses: list[float] = field(default_factory=list)
 
     @property
     def dedup_ratio(self) -> float:
@@ -52,6 +59,8 @@ class ShardResult:
             "stats": dict(self.stats),
             "tenant_summaries": {k: dict(v) for k, v in self.tenant_summaries.items()},
             "metrics": self.metrics,
+            "ingest_stalls": list(self.ingest_stalls),
+            "gc_pauses": list(self.gc_pauses),
         }
 
     @classmethod
@@ -63,6 +72,8 @@ class ShardResult:
             stats=dict(data["stats"]),
             tenant_summaries={k: dict(v) for k, v in data["tenant_summaries"].items()},
             metrics=dict(data["metrics"]),
+            ingest_stalls=list(data.get("ingest_stalls", [])),
+            gc_pauses=list(data.get("gc_pauses", [])),
         )
 
 
@@ -126,6 +137,32 @@ class FleetResult:
         if total_seconds == 0.0:
             return float("inf") if total_bytes else 0.0
         return total_bytes / total_seconds
+
+    def ingest_stall_quantiles(self) -> dict[str, float]:
+        """Exact ingest-stall quantiles over *every* ingest, fleet-wide.
+
+        The ``fleet.ingest_stall`` histogram holds the total sample count
+        (one per ingest, zeros included); the shards ship only the nonzero
+        samples.  Quantiles are computed over the implied
+        ``zeros + sorted(nonzero)`` population — the p99 the incremental-GC
+        benchmark gates on.
+        """
+        hist = self.metrics.get("histograms", {}).get("fleet.ingest_stall")
+        total = int(hist["count"]) if hist else 0
+        nonzero = sorted(
+            stall for shard in self.shards for stall in shard.ingest_stalls
+        )
+        if total <= 0:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        zeros = total - len(nonzero)
+        quantiles = {}
+        for label, p in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+            # Nearest-rank on the full population of `total` samples.
+            rank = max(1, -(-int(p * 1000) * total // 1000))  # ceil(p*total)
+            index = rank - 1
+            quantiles[label] = 0.0 if index < zeros else nonzero[index - zeros]
+        quantiles["max"] = nonzero[-1] if nonzero else 0.0
+        return quantiles
 
     @property
     def total_requests(self) -> int:

@@ -45,6 +45,11 @@ def plan_shards(config: FleetConfig, trace: bool = False) -> list[ShardTask]:
             gc_period=config.gc_period,
             seed=config.seed,
             trace=trace,
+            gc_mode=config.gc_mode,
+            gc_step_period=config.gc_step_period,
+            gc_mark_budget=config.gc_mark_budget,
+            gc_sweep_budget=config.gc_sweep_budget,
+            gc_trigger_deleted=config.gc_trigger_deleted,
         )
         for shard_id, tenants in enumerate(config.shard_tenants())
     ]

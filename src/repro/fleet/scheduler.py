@@ -18,15 +18,22 @@ tenants on simulated time:
   epoch after the last rotate).  An epoch with no pending deletions is
   skipped by the shard runner — GC is a shard-level background job, not a
   per-tenant one, matching how an appliance amortises GC across tenants.
+* In *incremental* GC mode the schedule additionally carries ``gc_step``
+  requests every ``gc_step_period`` between epochs: each advances the
+  in-flight :class:`~repro.gc.incremental.IncrementalGC` cycle by one
+  budgeted increment, so collection runs *between* foreground requests
+  instead of stalling them at the epoch.  Steps with no active cycle are
+  free no-ops, and stop-the-world schedules carry no steps at all —
+  stop-the-world fleets are bit-for-bit unchanged by this mode existing.
 * After the final GC epoch each tenant issues one ``restore`` request
   covering all its live backups.
 
 Total order: requests sort by ``(time, kind priority, tenant, backup)``
-with priority rotate < gc < ingest < restore, so ties at one instant
-replay the driver's delete → GC → ingest round structure.  The schedule is
-a pure function of ``(tenants, retention, periods, seed)`` — no wall
-clock, no process state — which is what makes ``--jobs N`` shard execution
-byte-identical to serial.
+with priority rotate < gc < gc_step < ingest < restore, so ties at one
+instant replay the driver's delete → GC → ingest round structure.  The
+schedule is a pure function of ``(tenants, retention, periods, seed)`` —
+no wall clock, no process state — which is what makes ``--jobs N`` shard
+execution byte-identical to serial.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from repro.fleet.topology import TenantSpec
 from repro.util.rng import DeterministicRng, derive_seed
 
 #: Tie-break order for requests landing on the same simulated instant.
-KIND_PRIORITY = {"rotate": 0, "gc": 1, "ingest": 2, "restore": 3}
+KIND_PRIORITY = {"rotate": 0, "gc": 1, "gc_step": 2, "ingest": 3, "restore": 4}
 
 
 @dataclass(frozen=True)
@@ -86,6 +93,8 @@ def shard_schedule(
     backup_period: float,
     gc_period: float,
     fleet_seed: int,
+    gc_mode: str = "stw",
+    gc_step_period: float = 0.25,
 ) -> tuple[Request, ...]:
     """The shard's full request sequence, merged and totally ordered."""
     requests: list[Request] = []
@@ -110,6 +119,17 @@ def shard_schedule(
         epoch += 1
     gc_times.add(horizon)
     requests.extend(Request(at, "gc") for at in gc_times)
+
+    # Incremental mode: budgeted GC steps between the epochs (an instant
+    # already holding an epoch needs no step — the epoch itself advances
+    # the cycle).
+    if gc_mode == "incremental":
+        step = 1
+        while step * gc_step_period < horizon:
+            at = step * gc_step_period
+            if at not in gc_times:
+                requests.append(Request(at, "gc_step"))
+            step += 1
 
     # Restores after the final GC, staggered by the same per-tenant jitter.
     for spec in tenants:

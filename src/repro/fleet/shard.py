@@ -54,6 +54,11 @@ class ShardTask:
     gc_period: float
     seed: int
     trace: bool = False
+    gc_mode: str = "stw"
+    gc_step_period: float = 0.25
+    gc_mark_budget: int = 8
+    gc_sweep_budget: int = 4
+    gc_trigger_deleted: int = 1
 
 
 class _ShardExecutor:
@@ -69,7 +74,18 @@ class _ShardExecutor:
         self.config = SystemConfig.scaled(
             retained=task.retained, turnover=task.turnover
         )
-        self.build = service_factory(task.approach, self.config)
+        gc_budget = None
+        if task.gc_mode == "incremental":
+            from repro.gc.incremental import GCBudget
+
+            gc_budget = GCBudget(
+                mark_recipes=task.gc_mark_budget,
+                sweep_containers=task.gc_sweep_budget,
+                mfdedup_volumes=task.gc_sweep_budget,
+            )
+        self.build = service_factory(
+            task.approach, self.config, gc_mode=task.gc_mode, gc_budget=gc_budget
+        )
         #: service key → service; ``"@shard"`` in the shared domain, the
         #: tenant name in the tenant domain.  Built eagerly in declaration
         #: order so construction order (and any construction-time events)
@@ -85,6 +101,17 @@ class _ShardExecutor:
                     seed=derive_seed(task.seed, "tenant", spec.name), tracer=tracer
                 )
         self.pending_deletes: dict[str, int] = {key: 0 for key in self.services}
+        #: Simulated instant until which each service's device is busy with
+        #: GC — the stall model foreground requests queue behind.
+        self.gc_busy_until: dict[str, float] = {key: 0.0 for key in self.services}
+        #: Nonzero per-request samples (simulated seconds), in request
+        #: order; the zero samples are implied by the matching histograms'
+        #: counts, which is how the fleet computes exact quantiles without
+        #: shipping every zero.
+        self.ingest_stalls: list[float] = []
+        self.gc_pauses: list[float] = []
+        #: Final GC epoch instant — set by :meth:`run` from the schedule.
+        self.final_gc_time = 0.0
         self.live_ids: dict[str, list[int]] = {spec.name: [] for spec in task.tenants}
         self.streams: dict[str, tuple] = {}
         self.specs = {spec.name: spec for spec in task.tenants}
@@ -117,10 +144,30 @@ class _ShardExecutor:
             self.streams[tenant] = stream
         return stream
 
+    def _note_gc_time(self, key: str, at: float, duration: float) -> None:
+        """Account GC device time: extend the service's busy window and
+        record the pause sample (both modes use the same stall model, so
+        stop-the-world and incremental tail latencies are comparable)."""
+        if duration <= 0:
+            return
+        start = max(at, self.gc_busy_until[key])
+        self.gc_busy_until[key] = start + duration
+        self.registry.observe("fleet.gc_pause", duration)
+        self.gc_pauses.append(duration)
+
     def _ingest(self, request: Request) -> None:
         tenant = request.tenant
+        key = self._service_key(tenant)
+        # Foreground stall: how long this ingest queues behind GC device
+        # time.  Zero-stall ingests still hit the histogram so quantiles
+        # are over *all* ingests, not just the stalled ones.
+        stall = self.gc_busy_until[key] - request.time
+        stall = stall if stall > 0 else 0.0
+        self.registry.observe("fleet.ingest_stall", stall)
+        if stall > 0:
+            self.ingest_stalls.append(stall)
         spec = self._stream(tenant)[request.backup_index]
-        service = self.services[self._service_key(tenant)]
+        service = self.services[key]
         result = service.ingest(spec.chunks, source=f"{tenant}:{spec.source}")
         self.live_ids[tenant].append(result.backup_id)
         registry = self.registry
@@ -150,31 +197,95 @@ class _ShardExecutor:
         self.pending_deletes[key] += len(victims)
         self.registry.count("fleet.deleted_backups", len(victims))
 
+    def _record_gc_report(self, report) -> None:
+        registry = self.registry
+        registry.count("gc.rounds")
+        registry.count("gc.backups_purged", report.backups_purged)
+        registry.count("gc.containers_involved", report.involved_containers)
+        registry.count("gc.containers_reclaimed", report.reclaimed_containers)
+        registry.count("gc.containers_produced", report.produced_containers)
+        registry.count("gc.migrated_bytes", report.migrated_bytes)
+        registry.count("gc.migrated_chunks", report.migrated_chunks)
+        registry.count("gc.reclaimed_bytes", report.reclaimed_bytes)
+        registry.count("phase_seconds.gc.mark", report.mark_seconds)
+        registry.count("phase_seconds.gc.analyze", report.analyze_seconds)
+        registry.count("phase_seconds.gc.sweep_read", report.sweep_read_seconds)
+        registry.count("phase_seconds.gc.sweep_write", report.sweep_write_seconds)
+        registry.observe("gc.round_seconds", report.total_seconds)
+
     def _gc(self, request: Request) -> None:
+        if self.task.gc_mode == "incremental":
+            self._gc_epoch_incremental(request)
+            return
         ran = False
         for key, service in self.services.items():
             if not self.pending_deletes[key]:
                 continue
+            before = service.disk.sim_time
             report = service.run_gc()
+            self._note_gc_time(key, request.time, service.disk.sim_time - before)
             self.pending_deletes[key] = 0
             ran = True
-            registry = self.registry
-            registry.count("gc.rounds")
-            registry.count("gc.backups_purged", report.backups_purged)
-            registry.count("gc.containers_involved", report.involved_containers)
-            registry.count("gc.containers_reclaimed", report.reclaimed_containers)
-            registry.count("gc.containers_produced", report.produced_containers)
-            registry.count("gc.migrated_bytes", report.migrated_bytes)
-            registry.count("gc.migrated_chunks", report.migrated_chunks)
-            registry.count("gc.reclaimed_bytes", report.reclaimed_bytes)
-            registry.count("phase_seconds.gc.mark", report.mark_seconds)
-            registry.count("phase_seconds.gc.analyze", report.analyze_seconds)
-            registry.count("phase_seconds.gc.sweep_read", report.sweep_read_seconds)
-            registry.count("phase_seconds.gc.sweep_write", report.sweep_write_seconds)
-            registry.observe("gc.round_seconds", report.total_seconds)
+            self._record_gc_report(report)
         if not ran:
             self.requests_executed["gc_skipped"] = (
                 self.requests_executed.get("gc_skipped", 0) + 1
+            )
+
+    def _gc_epoch_incremental(self, request: Request) -> None:
+        """A GC epoch in incremental mode.
+
+        Non-final epochs drain any leftover cycle (cost parity with
+        stop-the-world: each epoch's garbage is gone by the next), then
+        begin a new cycle — once the utilization trigger is met — and
+        advance it a single increment; the interleaved ``gc_step``
+        requests do the rest.  The *final* epoch collects everything
+        regardless of the trigger, so both modes end garbage-free.
+        """
+        final = request.time >= self.final_gc_time
+        trigger = 1 if final else self.task.gc_trigger_deleted
+        ran = False
+        for key, service in self.services.items():
+            engine = service.gc
+            before = service.disk.sim_time
+            if final:
+                while engine.active or engine.pending() >= 1:
+                    self._record_gc_report(engine.collect())
+                    self.pending_deletes[key] = 0
+                    ran = True
+            else:
+                if engine.active:
+                    self._record_gc_report(engine.collect())
+                    ran = True
+                if engine.pending() >= trigger:
+                    engine.begin()
+                    self.pending_deletes[key] = 0
+                    report = engine.step()
+                    if report is not None:
+                        self._record_gc_report(report)
+                    ran = True
+            self._note_gc_time(key, request.time, service.disk.sim_time - before)
+        if not ran:
+            self.requests_executed["gc_skipped"] = (
+                self.requests_executed.get("gc_skipped", 0) + 1
+            )
+
+    def _gc_step(self, request: Request) -> None:
+        """One budgeted increment of every service's in-flight GC cycle."""
+        advanced = False
+        for key, service in self.services.items():
+            engine = service.gc
+            if not engine.active:
+                continue
+            before = service.disk.sim_time
+            report = engine.step()
+            self._note_gc_time(key, request.time, service.disk.sim_time - before)
+            if report is not None:
+                self._record_gc_report(report)
+            advanced = True
+        if not advanced:
+            self.requests_executed["gc_step_idle"] = (
+                self.requests_executed.get("gc_step_idle", 0) + 1
             )
 
     def _restore(self, request: Request) -> None:
@@ -204,6 +315,7 @@ class _ShardExecutor:
         "ingest": _ingest,
         "rotate": _rotate,
         "gc": _gc,
+        "gc_step": _gc_step,
         "restore": _restore,
     }
 
@@ -216,6 +328,12 @@ class _ShardExecutor:
             task.backup_period,
             task.gc_period,
             task.seed,
+            gc_mode=task.gc_mode,
+            gc_step_period=task.gc_step_period,
+        )
+        self.final_gc_time = max(
+            (request.time for request in schedule if request.kind == "gc"),
+            default=0.0,
         )
         for request in schedule:
             self._HANDLERS[request.kind](self, request)
@@ -264,6 +382,8 @@ class _ShardExecutor:
                 for name, summary in sorted(self.tenant_summaries.items())
             },
             metrics=registry.to_dict(),
+            ingest_stalls=list(self.ingest_stalls),
+            gc_pauses=list(self.gc_pauses),
         )
 
 

@@ -118,6 +118,21 @@ class FleetConfig:
     #: Simulated time between shard-level GC epochs (GC only runs at an
     #: epoch when deletions are pending — see the scheduler).
     gc_period: float = 4.0
+    #: GC execution mode: ``"stw"`` runs a whole stop-the-world cycle at
+    #: each epoch; ``"incremental"`` begins a budgeted
+    #: :class:`~repro.gc.incremental.IncrementalGC` cycle at the epoch and
+    #: advances it through interleaved ``gc_step`` requests.
+    gc_mode: str = "stw"
+    #: Simulated time between ``gc_step`` requests (incremental mode only).
+    gc_step_period: float = 0.25
+    #: Per-increment budgets (incremental mode only): recipes marked per
+    #: step, and sweep sources / MFDedup volumes processed per step.
+    gc_mark_budget: int = 8
+    gc_sweep_budget: int = 4
+    #: Utilization trigger: a new cycle begins at a GC epoch only once at
+    #: least this many deletions are pending (the final epoch always
+    #: collects everything, so the fleet ends garbage-free in both modes).
+    gc_trigger_deleted: int = 1
     #: Root seed for scheduler jitter and per-service (GCCDF migration) RNGs.
     seed: int = 2025
 
@@ -144,6 +159,16 @@ class FleetConfig:
             raise ConfigError("cannot turn over more backups than are retained")
         if self.backup_period <= 0 or self.gc_period <= 0:
             raise ConfigError("backup_period and gc_period must be positive")
+        if self.gc_mode not in ("stw", "incremental"):
+            raise ConfigError(
+                f"unknown gc_mode {self.gc_mode!r}; choose 'stw' or 'incremental'"
+            )
+        if self.gc_step_period <= 0:
+            raise ConfigError("gc_step_period must be positive")
+        if self.gc_mark_budget < 1 or self.gc_sweep_budget < 1:
+            raise ConfigError("gc budgets must be >= 1")
+        if self.gc_trigger_deleted < 1:
+            raise ConfigError("gc_trigger_deleted must be >= 1")
         names = set()
         for tenant in self.tenants:
             tenant.validate()
@@ -188,6 +213,11 @@ class FleetConfig:
         turnover: int = 2,
         backup_period: float = 1.0,
         gc_period: float = 4.0,
+        gc_mode: str = "stw",
+        gc_step_period: float = 0.25,
+        gc_mark_budget: int = 8,
+        gc_sweep_budget: int = 4,
+        gc_trigger_deleted: int = 1,
         seed: int = 2025,
     ) -> "FleetConfig":
         """A synthetic fleet: tenants round-robin over ``datasets``.
@@ -226,6 +256,11 @@ class FleetConfig:
             turnover=turnover,
             backup_period=backup_period,
             gc_period=gc_period,
+            gc_mode=gc_mode,
+            gc_step_period=gc_step_period,
+            gc_mark_budget=gc_mark_budget,
+            gc_sweep_budget=gc_sweep_budget,
+            gc_trigger_deleted=gc_trigger_deleted,
             seed=seed,
         )
         config.validate()

@@ -13,6 +13,7 @@ from repro.gc.mark import MarkStage, MarkResult
 from repro.gc.migration import MigrationStrategy, MigrationResult, NaiveMigration, SweepContext
 from repro.gc.report import GCReport
 from repro.gc.engine import MarkSweepGC
+from repro.gc.incremental import GCBudget, GCCycleState, IncrementalGC
 
 __all__ = [
     "VCTable",
@@ -27,4 +28,7 @@ __all__ = [
     "SweepContext",
     "GCReport",
     "MarkSweepGC",
+    "GCBudget",
+    "GCCycleState",
+    "IncrementalGC",
 ]

@@ -1,0 +1,258 @@
+"""Incremental-GC benchmark — writes ``BENCH_incgc.json``.
+
+Two claims, two measurements:
+
+1. **Drained equivalence** (hard gate): for every approach, running the
+   rotation protocol with the budgeted
+   :class:`~repro.gc.incremental.IncrementalGC` — where each ``run_gc``
+   drains a whole cycle increment by increment — produces *exactly* the
+   same system as stop-the-world GC: identical :class:`ServiceStats`,
+   live backups, container ids, simulated device time, and GC reports
+   (modulo ``analyze_cpu_seconds``, which is interpreter wall-clock).
+   The per-approach GC cost ratio must stay within ``--cost-tolerance``
+   of 1.0 (it is exactly 1.0 when equivalence holds — the gate exists to
+   catch partial regressions loudly).
+
+2. **Fleet interleaving** (tail latency + cost): the same synthetic fleet
+   run in both modes.  Incremental mode interleaves ``gc_step`` requests
+   with foreground traffic, so ingest tail stall (p99/max of the
+   queue-behind-GC stall model) shrinks while total GC cost must stay
+   within ``--cost-tolerance`` (hard gate).  The incremental fleet must
+   also serialize byte-identically at ``jobs=1`` and ``jobs=2`` (hard
+   gate — determinism under process-parallel sharding).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/incgc.py \\
+        --out benchmarks/results/BENCH_incgc.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+
+from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.driver import RotationDriver
+from repro.backup.verify import verify_service
+from repro.config import SystemConfig
+from repro.fleet.runner import run_fleet
+from repro.fleet.topology import FleetConfig
+from repro.gc.incremental import GCBudget
+from repro.workloads.datasets import dataset
+
+#: Workload for the drained-equivalence comparison: ``web`` shares chunks
+#: across consecutive backups, so every approach's GC actually migrates.
+EQUIV_DATASET = "web"
+EQUIV_SCALE = 0.1
+EQUIV_BACKUPS = 16
+
+#: A deliberately small budget so drained cycles take many increments.
+EQUIV_BUDGET = GCBudget(mark_recipes=3, sweep_containers=2, mfdedup_volumes=2)
+
+
+def _report_key(report) -> dict:
+    """A GC report as comparable plain data, wall-clock field dropped."""
+    data = asdict(report)
+    data.pop("analyze_cpu_seconds", None)
+    return data
+
+
+def _gc_cost(reports) -> float:
+    return sum(r.total_seconds for r in reports)
+
+
+def _layout_ids(service) -> list:
+    """Stable physical-layout identity: container ids, or MFDedup's
+    (category, backup id) volume keys."""
+    if hasattr(service, "store"):
+        return sorted(service.store.ids())
+    return sorted(service.volumes._volumes)
+
+
+def _run_protocol(approach: str, gc_mode: str):
+    config = SystemConfig.scaled(retained=10, turnover=3)
+    budget = EQUIV_BUDGET if gc_mode == "incremental" else None
+    service = make_service(approach, config, gc_mode=gc_mode, gc_budget=budget)
+    driver = RotationDriver(service, config.retention, dataset_name=EQUIV_DATASET)
+    result = driver.run(
+        dataset(EQUIV_DATASET, scale=EQUIV_SCALE, num_backups=EQUIV_BACKUPS)
+    )
+    return service, result
+
+
+def equivalence_section(cost_tolerance: float, progress) -> tuple[dict, bool]:
+    """Part 1: drained incremental vs stop-the-world, every approach."""
+    approaches = {}
+    ok = True
+    for approach in APPROACHES:
+        progress(f"equivalence: {approach}")
+        stw_service, stw = _run_protocol(approach, "stw")
+        inc_service, inc = _run_protocol(approach, "incremental")
+        checks = {
+            "stats_equal": stw_service.stats() == inc_service.stats(),
+            "live_ids_equal": (
+                stw_service.live_backup_ids() == inc_service.live_backup_ids()
+            ),
+            "container_ids_equal": _layout_ids(stw_service) == _layout_ids(inc_service),
+            "sim_time_equal": (
+                stw_service.disk.sim_time == inc_service.disk.sim_time
+            ),
+            "reports_equal": (
+                [_report_key(r) for r in stw.gc_reports]
+                == [_report_key(r) for r in inc.gc_reports]
+            ),
+            "verifier_clean": (
+                verify_service(stw_service).errors == []
+                and verify_service(inc_service).errors == []
+            ),
+        }
+        stw_cost = _gc_cost(stw.gc_reports)
+        inc_cost = _gc_cost(inc.gc_reports)
+        cost_ratio = inc_cost / stw_cost if stw_cost else 1.0
+        within = abs(cost_ratio - 1.0) <= cost_tolerance - 1.0
+        approaches[approach] = {
+            **checks,
+            "gc_rounds": len(inc.gc_reports),
+            "gc_cost_stw": stw_cost,
+            "gc_cost_incremental": inc_cost,
+            "cost_ratio": cost_ratio,
+            "cost_within_tolerance": within,
+        }
+        if not (all(checks.values()) and within):
+            ok = False
+            progress(f"  FAIL: {approach}: {approaches[approach]}")
+    return {
+        "dataset": EQUIV_DATASET,
+        "scale": EQUIV_SCALE,
+        "num_backups": EQUIV_BACKUPS,
+        "budget": asdict(EQUIV_BUDGET),
+        "approaches": approaches,
+        "all_equivalent": ok,
+    }, ok
+
+
+def _fleet_config(args: argparse.Namespace, gc_mode: str) -> FleetConfig:
+    return FleetConfig.synthetic(
+        args.tenants,
+        args.shards,
+        workload_scale=0.03,
+        backups_per_tenant=8,
+        stream_pool=6,
+        approach=args.approach,
+        retained=4,
+        turnover=2,
+        gc_mode=gc_mode,
+        gc_mark_budget=4,
+        gc_sweep_budget=2,
+        seed=args.seed,
+    )
+
+
+def _fleet_stats(result) -> dict:
+    counters = result.metrics.get("counters", {})
+    cost = sum(
+        counters.get(f"phase_seconds.gc.{phase}", 0.0)
+        for phase in ("mark", "analyze", "sweep_read", "sweep_write")
+    )
+    pauses = sorted(p for shard in result.shards for p in shard.gc_pauses)
+    return {
+        "gc_rounds": counters.get("gc.rounds", 0),
+        "gc_cost_seconds": cost,
+        "reclaimed_bytes": counters.get("gc.reclaimed_bytes", 0),
+        "physical_bytes": counters.get("service.physical_bytes", 0),
+        "ingest_stall": result.ingest_stall_quantiles(),
+        "gc_pause_count": len(pauses),
+        "gc_pause_max": pauses[-1] if pauses else 0.0,
+    }
+
+
+def fleet_section(args: argparse.Namespace, progress) -> tuple[dict, bool]:
+    """Part 2: fleet tail latency + cost, stop-the-world vs incremental."""
+    progress("fleet: stop-the-world run")
+    stw = run_fleet(_fleet_config(args, "stw"), jobs=1)
+    progress("fleet: incremental run (jobs=1)")
+    inc = run_fleet(_fleet_config(args, "incremental"), jobs=1)
+    progress("fleet: incremental run (jobs=2)")
+    inc2 = run_fleet(_fleet_config(args, "incremental"), jobs=2)
+
+    deterministic = inc.canonical_json() == inc2.canonical_json()
+    stw_stats = _fleet_stats(stw)
+    inc_stats = _fleet_stats(inc)
+    stw_cost = stw_stats["gc_cost_seconds"]
+    cost_ratio = (
+        inc_stats["gc_cost_seconds"] / stw_cost if stw_cost else 1.0
+    )
+    within = cost_ratio <= args.cost_tolerance
+    ok = deterministic and within
+    if not deterministic:
+        progress("  FAIL: incremental fleet not byte-identical across --jobs")
+    if not within:
+        progress(f"  FAIL: fleet GC cost ratio {cost_ratio:.3f} > {args.cost_tolerance}")
+    return {
+        "tenants": args.tenants,
+        "shards": args.shards,
+        "approach": args.approach,
+        "stw": stw_stats,
+        "incremental": inc_stats,
+        "gc_cost_ratio": cost_ratio,
+        "cost_within_tolerance": within,
+        "jobs_determinism": deterministic,
+    }, ok
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Incremental-GC benchmark (equivalence + fleet tail latency)."
+    )
+    parser.add_argument("--tenants", type=int, default=24, help="fleet tenant count")
+    parser.add_argument("--shards", type=int, default=4, help="fleet shard count")
+    parser.add_argument("--approach", default="gccdf", help="fleet backup approach")
+    parser.add_argument("--seed", type=int, default=2025, help="fleet seed")
+    parser.add_argument(
+        "--cost-tolerance", type=float, default=1.10,
+        help="max allowed incremental/stw GC cost ratio (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_incgc.json", help="output path (default: %(default)s)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    equivalence, equiv_ok = equivalence_section(args.cost_tolerance, progress)
+    fleet, fleet_ok = fleet_section(args, progress)
+    ok = equiv_ok and fleet_ok
+    payload = {
+        "equivalence": equivalence,
+        "fleet": fleet,
+        "cost_tolerance": args.cost_tolerance,
+        "gate_passed": ok,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"benchmark written to {args.out}", file=sys.stderr)
+    print(
+        json.dumps(
+            {
+                "all_equivalent": equivalence["all_equivalent"],
+                "fleet_cost_ratio": round(fleet["gc_cost_ratio"], 4),
+                "fleet_p99_stall_stw": fleet["stw"]["ingest_stall"]["p99"],
+                "fleet_p99_stall_incremental": fleet["incremental"]["ingest_stall"]["p99"],
+                "jobs_determinism": fleet["jobs_determinism"],
+            }
+        )
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

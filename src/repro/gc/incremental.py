@@ -1,0 +1,862 @@
+"""Incremental, crash-recoverable GC (ROADMAP item 5).
+
+Restructures the stop-the-world mark → analyze → copy-forward/sweep →
+reclaim cycle of :class:`~repro.gc.engine.MarkSweepGC` into resumable,
+budgeted increments so an always-on fleet can interleave collection with
+foreground ingest/restore traffic:
+
+* **Mark** proceeds ``mark_recipes`` recipes per step over snapshots of the
+  deleted/live recipe populations taken when the cycle begins.
+* **Sweep** proceeds ``sweep_containers`` sources per step (classic scan
+  order) or one GCCDF segment per step; the copy-forward writer is shared
+  across increments, so destinations fill in per-destination slices exactly
+  as in one uninterrupted sweep.
+* **Reclaim** stays deferred behind the copy-forward seal protocol, with a
+  *live-reference barrier*: chunks revived by an ingest interleaved after
+  their source was partitioned are never invalidated — the source is
+  re-queued and re-processed instead of reclaimed.
+
+The whole cycle runs under one ``gc.cycle`` intent in the device's
+:class:`~repro.faults.IntentJournal` whose payload *is* the persistent
+:class:`GCCycleState` (mark frontier, candidate set, copy-forward progress).
+A crash at any increment boundary (the new ``gc.increment`` crash point)
+recovers to a verifier-clean state — recovery repairs the cycle state in
+place and leaves the intent **open**, so the cycle *resumes* from the
+journal rather than restarting; a crash after the cycle committed rolls the
+final selective purge forward.
+
+A *drained* cycle (``collect()``, which runs every increment back to back)
+performs the byte-identical read/write sequence of the stop-the-world
+engine and returns a counter-identical :class:`~repro.gc.report.GCReport` —
+the equivalence the ``benchmarks/incgc.py`` gate pins for every approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.gc.mark import RECIPE_ENTRY_BYTES, MarkResult
+from repro.gc.migration import (
+    JournaledCopyForward,
+    MigrationResult,
+    MigrationStrategy,
+    NaiveMigration,
+    SweepContext,
+    invalid_keys,
+    partition_container,
+)
+from repro.gc.report import GCReport
+from repro.gc.vc_table import make_vc_table
+from repro.index.fingerprint_index import FingerprintIndex
+from repro.index.recipe import RecipeStore
+from repro.simio.disk import DiskModel
+from repro.storage.store import ContainerStore
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class GCBudget:
+    """Per-increment work budgets (the kv-emulator ``max_rounds`` shape)."""
+
+    #: Recipes scanned per mark step.
+    mark_recipes: int = 8
+    #: Source containers examined per classic sweep step (GCCDF instead
+    #: processes one ``segment_size`` segment per step).
+    sweep_containers: int = 4
+    #: Expired volumes unlinked per MFDedup reorg step.
+    mfdedup_volumes: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("mark_recipes", "sweep_containers", "mfdedup_volumes"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"GCBudget.{name} must be >= 1")
+
+
+@dataclass
+class GCCycleState:
+    """Persistent state of one incremental cycle.
+
+    Lives as the (mutable) payload of the cycle's open ``gc.cycle`` journal
+    intent — the NVRAM model — so it survives a crash verbatim and carries
+    the mark frontier, candidate set, and copy-forward progress across
+    increments and across recovery.
+    """
+
+    round_index: int
+    #: ``mark`` → ``sweep`` → ``finalize``; the cycle completes out of
+    #: ``finalize`` (the intent commits, the selective purge runs).
+    phase: str = "mark"
+    #: Recipe-population snapshots taken when the cycle began.  Recipes
+    #: deleted after the snapshot wait for the next cycle; recipes ingested
+    #: after it are protected by the live-reference barrier.
+    deleted_ids: list[int] = field(default_factory=list)
+    live_ids: list[int] = field(default_factory=list)
+    # -- mark frontier -------------------------------------------------
+    #: 0 = deleted-recipe pass, 1 = live-recipe pass.
+    mark_pass: int = 0
+    mark_pos: int = 0
+    candidate_keys: set = field(default_factory=set)
+    gs_set: set = field(default_factory=set)
+    rrt_sets: dict = field(default_factory=dict)
+    #: fp → placement memo (one index probe per unique key, as in the
+    #: stop-the-world kernels).  Dropped by recovery: placements may have
+    #: been repaired.
+    resolved: dict = field(default_factory=dict)
+    live_keys: set = field(default_factory=set)
+    #: Keys referenced by recipes ingested while the mark was in flight;
+    #: folded into the VC table when the mark completes.
+    barrier_keys: set = field(default_factory=set)
+    mark_seconds: float = 0.0
+    mark_result: MarkResult | None = None
+    # -- sweep frontier ------------------------------------------------
+    #: Classic sweep: GS-list source ids, processed in order.
+    sweep_queue: list = field(default_factory=list)
+    sweep_pos: int = 0
+    #: GCCDF: reclaimable container ids grouped by segment; one batch per
+    #: step (contents are re-partitioned at processing time — metadata
+    #: only, identical when drained).
+    segment_batches: list = field(default_factory=list)
+    segment_pos: int = 0
+    segments_done: int = 0
+    #: Sources whose reclaim found revived chunks (live-reference barrier);
+    #: re-processed before the cycle may complete.
+    requeue: list = field(default_factory=list)
+    # -- copy-forward progress -----------------------------------------
+    #: fp → destination id, durable only once the destination sealed;
+    #: recovery scrubs entries whose repoint did not survive.
+    migrated: dict = field(default_factory=dict)
+    #: Destinations sealed so far (the writer is rebuilt after a crash, so
+    #: its own committed list cannot be trusted across increments).
+    produced_ids: list = field(default_factory=list)
+    sweep_result: MigrationResult = field(default_factory=MigrationResult)
+    analyze_ops: int = 0
+    analyze_cpu_seconds: float = 0.0
+    sweep_read_seconds: float = 0.0
+    sweep_write_seconds: float = 0.0
+    #: Increment boundaries crossed (context for the crash point).
+    steps: int = 0
+    #: Set by recovery: transient runners (sweep context, copy-forward
+    #: writer, GCCDF analyzer state) must be rebuilt before the next step.
+    dirty: bool = False
+
+
+class _CycleCopyForward(JournaledCopyForward):
+    """Copy-forward writer whose durable progress lives in the cycle state.
+
+    The duplicate guard and result accounting alias :class:`GCCycleState`
+    fields so they survive writer rebuilds, sealed destinations are recorded
+    in the state, and reclaims honour the live-reference barrier: a source
+    holding chunks revived since it was partitioned is re-queued instead of
+    reclaimed (reclaiming would discard index keys a live recipe now needs).
+    """
+
+    def __init__(self, ctx: SweepContext, state: GCCycleState):
+        super().__init__(ctx)
+        self._state = state
+        self._migrated = state.migrated
+        self.result = state.sweep_result
+
+    def _on_seal(self, container) -> None:
+        super()._on_seal(container)
+        self._state.produced_ids.append(container.container_id)
+
+    def _reclaim(self, container_id, invalid_fps, invalid_bytes) -> None:
+        # Live-reference barrier: an interleaved ingest may have revived a
+        # chunk that was invalid when this source was partitioned.  The VC
+        # table only ever grows, so re-checking here is sufficient — and in
+        # a drained cycle it never fires (nothing is interleaved).
+        vc_table = self.ctx.mark.vc_table
+        if any(fp in vc_table for fp in invalid_fps):
+            self._state.requeue.append(container_id)
+            return
+        super()._reclaim(container_id, invalid_fps, invalid_bytes)
+
+
+class IncrementalGC:
+    """Budgeted, resumable mark–sweep GC for container-based services.
+
+    Duck-types :class:`~repro.gc.engine.MarkSweepGC` (``collect()`` /
+    ``history``) and adds the incremental surface: :meth:`begin`,
+    :meth:`step`, :attr:`active`, :meth:`pending`, and :meth:`should_run`
+    (the kv-emulator-style utilization trigger).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        store: ContainerStore,
+        index: FingerprintIndex,
+        recipes: RecipeStore,
+        disk: DiskModel,
+        migration: MigrationStrategy | None = None,
+        budget: GCBudget | None = None,
+    ):
+        self.config = config
+        self.store = store
+        self.index = index
+        self.recipes = recipes
+        self.disk = disk
+        self.migration = migration or NaiveMigration()
+        self.budget = budget or GCBudget()
+        self._rounds = 0
+        self.history: list[GCReport] = []
+        self._record = None
+        self._state: GCCycleState | None = None
+        #: Transient per-cycle runners, rebuilt when the state is dirty.
+        self._ctx: SweepContext | None = None
+        self._cf: _CycleCopyForward | None = None
+        self._gccdf_runners = None
+
+    # ------------------------------------------------------------------
+    # Trigger / lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def journal(self):
+        return self.store.journal
+
+    @property
+    def active(self) -> bool:
+        """A cycle is in flight (its ``gc.cycle`` intent is open)."""
+        self._sync()
+        return self._record is not None
+
+    def pending(self) -> int:
+        """Logically deleted backups awaiting collection."""
+        return len(self.recipes.deleted_ids())
+
+    def should_run(self, trigger: int = 1) -> bool:
+        """Utilization trigger: an in-flight cycle, or enough garbage."""
+        return self.active or self.pending() >= trigger
+
+    def begin(self) -> None:
+        """Open a cycle: snapshot the recipe populations, journal the state.
+
+        No-op when a cycle is already in flight.
+        """
+        self._sync()
+        if self._record is not None:
+            return
+        state = GCCycleState(
+            round_index=self._rounds,
+            deleted_ids=self.recipes.deleted_ids(),
+            live_ids=self.recipes.live_ids(),
+        )
+        self._state = state
+        self._record = self.journal.begin("gc.cycle", state=state)
+
+    def collect(self) -> GCReport:
+        """Drain a full cycle (resuming an in-flight one first).
+
+        The stop-the-world-compatible entry point: performs the
+        byte-identical I/O sequence of ``MarkSweepGC.collect()`` when no
+        traffic is interleaved.
+        """
+        self._sync()
+        if self._record is None:
+            self.begin()
+        while True:
+            report = self.step()
+            if report is not None:
+                return report
+
+    def step(self) -> GCReport | None:
+        """Run one budgeted increment; returns the report when the cycle
+        completes, else ``None`` after firing the ``gc.increment`` boundary
+        crash point."""
+        self._sync()
+        if self._record is None:
+            return None
+        state = self._state
+        if state.dirty:
+            self._reset_runners(state)
+        if state.phase == "mark":
+            self._mark_increment(state)
+        elif state.phase == "sweep":
+            self._sweep_increment(state)
+        else:
+            report = self._finalize(state)
+            if report is not None:
+                return report
+        self._boundary(state)
+        return None
+
+    def note_live_references(self, fps) -> None:
+        """Live-reference barrier: record keys of a recipe ingested while a
+        cycle is in flight, so the sweep never invalidates them."""
+        if self._record is None:
+            return
+        state = self._state
+        if state.mark_result is None:
+            state.barrier_keys.update(fps)
+        else:
+            state.mark_result.vc_table.update(fps)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Reattach after recovery: if recovery rolled the committed cycle
+        forward (purge replayed, intent closed), drop it without a report —
+        exactly the stop-the-world outcome of a crash at ``gc.purge``
+        (``_rounds`` is not advanced; the next cycle reuses the index)."""
+        if self._record is None:
+            return
+        if not any(rec is self._record for rec in self.journal.records("gc.cycle")):
+            self._record = None
+            self._state = None
+            self._ctx = None
+            self._cf = None
+            self._gccdf_runners = None
+
+    def _boundary(self, state: GCCycleState) -> None:
+        state.steps += 1
+        self.disk.crash_point(
+            "gc.increment",
+            round_index=state.round_index,
+            phase=state.phase,
+            step=state.steps,
+        )
+
+    def _reset_runners(self, state: GCCycleState) -> None:
+        if self._ctx is not None:
+            state.analyze_cpu_seconds += self._ctx.analyze_watch.elapsed
+        self._ctx = None
+        self._cf = None
+        self._gccdf_runners = None
+        state.dirty = False
+
+    @property
+    def _is_gccdf(self) -> bool:
+        return getattr(self.migration, "name", "") == "gccdf"
+
+    def _ensure_runners(self, state: GCCycleState) -> None:
+        if self._ctx is None:
+            ctx = SweepContext(
+                config=self.config,
+                store=self.store,
+                index=self.index,
+                recipes=self.recipes,
+                disk=self.disk,
+                mark=state.mark_result,
+            )
+            ctx.analyze_ops = state.analyze_ops
+            self._ctx = ctx
+            self._cf = _CycleCopyForward(ctx, state)
+        if self._is_gccdf and self._gccdf_runners is None:
+            # Imported lazily: repro.core pulls in the whole GCCDF pipeline,
+            # which this module only needs for that one strategy.
+            from repro.core.analyzer import Analyzer, ReferenceChecker
+            from repro.core.planner import Planner
+
+            checker = ReferenceChecker(self.recipes, self.config.gccdf)
+            analyzer = Analyzer(checker, self.config.gccdf)
+            planner = Planner(
+                self.config.gccdf,
+                rng=DeterministicRng(getattr(self.migration, "_seed", 0)).fork(
+                    "round", state.round_index
+                ),
+            )
+            self._gccdf_runners = (checker, analyzer, planner)
+
+    # -- mark ----------------------------------------------------------
+
+    def _mark_increment(self, state: GCCycleState) -> None:
+        """Scan up to ``budget.mark_recipes`` recipes of the cycle snapshot.
+
+        Per-entry kernel (works for both recipe representations) with the
+        stop-the-world probe discipline: one index probe per unique key,
+        memoised across both passes, and the ``gc.mark`` crash point between
+        them — so a drained cycle is read- and probe-identical to
+        :class:`~repro.gc.mark.MarkStage`.
+        """
+        remaining = self.budget.mark_recipes
+        with self.disk.phase("gc.mark") as ph:
+            while remaining > 0:
+                if state.mark_pass == 0:
+                    if state.mark_pos >= len(state.deleted_ids):
+                        # Deleted pass complete (idempotent on re-entry:
+                        # the RRT skeleton is rebuilt from gs_set).
+                        self.disk.crash_point(
+                            "gc.mark", gs_containers=len(state.gs_set)
+                        )
+                        state.rrt_sets = {cid: set() for cid in state.gs_set}
+                        state.mark_pass = 1
+                        state.mark_pos = 0
+                        continue
+                    recipe = self.recipes.get(state.deleted_ids[state.mark_pos])
+                    self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
+                    self._scan_deleted(state, recipe)
+                else:
+                    if state.mark_pos >= len(state.live_ids):
+                        self._complete_mark(state)
+                        break
+                    recipe = self.recipes.get(state.live_ids[state.mark_pos])
+                    self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
+                    self._scan_live(state, recipe)
+                state.mark_pos += 1
+                remaining -= 1
+            ph.annotate(
+                round_index=state.round_index,
+                mark_pass=state.mark_pass,
+                mark_pos=state.mark_pos,
+            )
+        state.mark_seconds += ph.delta.read_seconds
+
+    def _scan_deleted(self, state: GCCycleState, recipe) -> None:
+        candidate_keys = state.candidate_keys
+        resolved = state.resolved
+        index_lookup = self.index.lookup
+        for entry in recipe.entries:
+            fp = entry.fp
+            if fp in candidate_keys:
+                continue
+            candidate_keys.add(fp)
+            placement = resolved[fp] = index_lookup(fp)
+            if placement is not None:
+                state.gs_set.add(placement.container_id)
+
+    def _scan_live(self, state: GCCycleState, recipe) -> None:
+        missing = object()
+        resolved = state.resolved
+        resolved_get = resolved.get
+        index_lookup = self.index.lookup
+        live_keys = state.live_keys
+        rrt_sets = state.rrt_sets
+        backup_id = recipe.backup_id
+        seen_containers: set[int] = set()
+        for entry in recipe.entries:
+            fp = entry.fp
+            live_keys.add(fp)
+            placement = resolved_get(fp, missing)
+            if placement is missing:
+                placement = resolved[fp] = index_lookup(fp)
+            if placement is None:
+                continue
+            container_id = placement.container_id
+            if container_id in rrt_sets and container_id not in seen_containers:
+                seen_containers.add(container_id)
+                rrt_sets[container_id].add(backup_id)
+
+    def _complete_mark(self, state: GCCycleState) -> None:
+        vc_table = make_vc_table(self.config.vc_table, expected_keys=len(self.index))
+        vc_table.update(state.live_keys)
+        if state.barrier_keys:
+            vc_table.update(state.barrier_keys)
+            state.barrier_keys.clear()
+        state.mark_result = MarkResult(
+            vc_table=vc_table,
+            gs_list=tuple(sorted(state.gs_set)),
+            rrt={cid: tuple(sorted(b)) for cid, b in state.rrt_sets.items()},
+            candidate_keys=len(state.candidate_keys),
+            mark_seconds=0.0,  # accumulated in state.mark_seconds instead
+        )
+        # The scan working sets are no longer needed; the memo must not
+        # outlive the mark (the sweep mutates placements).
+        state.live_keys = set()
+        state.resolved = {}
+        state.phase = "sweep"
+        self._prepare_sweep(state)
+
+    def _prepare_sweep(self, state: GCCycleState) -> None:
+        mark = state.mark_result
+        if self._is_gccdf:
+            # Pin reclaimable ids into segment batches (the Preprocessor's
+            # work list, ids only); contents re-partition at processing time.
+            work = [
+                cid
+                for cid in mark.gs_list
+                if partition_container_ids(self, mark, cid)[1] > 0
+            ]
+            size = self.config.gccdf.segment_size
+            state.segment_batches = [
+                work[start : start + size] for start in range(0, len(work), size)
+            ]
+            state.segment_pos = 0
+        else:
+            state.sweep_queue = list(mark.gs_list)
+            state.sweep_pos = 0
+
+    # -- sweep ---------------------------------------------------------
+
+    def _sweep_increment(self, state: GCCycleState) -> None:
+        self._ensure_runners(state)
+        if state.requeue:
+            # Sources deferred by the live-reference barrier re-enter the
+            # work list (as their own GCCDF batches — re-analysis is cheap
+            # and the segment cache stays bounded).
+            if self._is_gccdf:
+                state.segment_batches.extend([cid] for cid in state.requeue)
+            else:
+                state.sweep_queue.extend(state.requeue)
+            state.requeue = []
+        if self._is_gccdf:
+            if state.segment_pos < len(state.segment_batches):
+                self._gccdf_segment_step(state)
+            done = state.segment_pos >= len(state.segment_batches)
+        else:
+            self._naive_sweep_step(state)
+            done = state.sweep_pos >= len(state.sweep_queue)
+        if done:
+            state.phase = "finalize"
+
+    def _naive_sweep_step(self, state: GCCycleState) -> None:
+        ctx, copy_forward = self._ctx, self._cf
+        queue = state.sweep_queue
+        remaining = self.budget.sweep_containers
+        with self.disk.phase("gc.sweep") as ph:
+            while remaining > 0 and state.sweep_pos < len(queue):
+                container_id = queue[state.sweep_pos]
+                state.sweep_pos += 1
+                remaining -= 1
+                if container_id not in self.store:
+                    continue  # reclaimed before a crash; nothing left here
+                valid, invalid_bytes = partition_container(ctx, container_id)
+                if invalid_bytes == 0:
+                    continue  # involved but fully valid: nothing to reclaim
+                payload_source = (
+                    self.store.read_container(container_id) if valid else None
+                )
+                for entry in valid:
+                    payload = (
+                        payload_source.payload(entry.fp)
+                        if payload_source is not None
+                        else None
+                    )
+                    copy_forward.migrate_chunk(entry, payload, container_id)
+                copy_forward.schedule_reclaim(
+                    container_id, invalid_keys(ctx, container_id), invalid_bytes
+                )
+            ph.annotate(round_index=state.round_index, sweep_pos=state.sweep_pos)
+        state.sweep_read_seconds += ph.delta.read_seconds
+        state.sweep_write_seconds += ph.delta.write_seconds
+
+    def _gccdf_segment_step(self, state: GCCycleState) -> None:
+        """One GCCDF segment: read + cache → analyze → reordered write →
+        schedule reclaims.  Mirrors ``GCCDFMigration.migrate``'s per-segment
+        body exactly (same analyze-op accounting, same crash point)."""
+        ctx, copy_forward = self._ctx, self._cf
+        checker, analyzer, planner = self._gccdf_runners
+        batch = state.segment_batches[state.segment_pos]
+        segment_index = state.segment_pos
+        state.segment_pos += 1
+        with self.disk.phase("gc.sweep") as ph:
+            container_ids: list[int] = []
+            valid_chunks = []
+            payloads: dict[bytes, bytes] = {}
+            owners: set[int] = set()
+            segment_invalid_bytes = 0
+            for container_id in batch:
+                if container_id not in self.store:
+                    continue  # reclaimed before a crash
+                valid, invalid_bytes = partition_container(ctx, container_id)
+                if invalid_bytes == 0:
+                    continue  # fully valid (possible only after a crash)
+                container_ids.append(container_id)
+                segment_invalid_bytes += invalid_bytes
+                owners.update(ctx.mark.rrt.get(container_id, ()))
+                if not valid:
+                    continue
+                container = self.store.read_container(container_id)
+                for entry in valid:
+                    valid_chunks.append(entry)
+                    payload = container.payload(entry.fp)
+                    if payload is not None:
+                        payloads[entry.fp] = payload
+            if container_ids:
+                involved_backups = tuple(sorted(owners))
+                builds_before = checker.build_ops
+                with ctx.analyze_watch.timed():
+                    clusters = analyzer.cluster(valid_chunks, involved_backups)
+                    order = planner.plan(clusters, involved_backups)
+                ctx.analyze_ops += (
+                    (checker.build_ops - builds_before)
+                    + analyzer.last_probe_count
+                    + order.num_clusters * order.num_clusters
+                    + order.num_chunks
+                )
+                for ref in order.sequence:
+                    source_id = ctx.index.get(ref.fp).container_id
+                    copy_forward.migrate_chunk(ref, payloads.get(ref.fp), source_id)
+                ctx.disk.crash_point(
+                    "gccdf.segment",
+                    segment_index=segment_index,
+                    containers=len(container_ids),
+                )
+                for container_id in container_ids:
+                    _, container_invalid_bytes = partition_container(ctx, container_id)
+                    copy_forward.schedule_reclaim(
+                        container_id,
+                        invalid_keys(ctx, container_id),
+                        container_invalid_bytes,
+                    )
+                state.segments_done += 1
+                tracer = ctx.disk.tracer
+                if tracer.enabled:
+                    tracer.emit(
+                        "gc.segment",
+                        sim_time=ctx.disk.sim_time,
+                        fields={
+                            "containers": len(container_ids),
+                            "clusters": order.num_clusters,
+                            "migrated_chunks": order.num_chunks,
+                            "invalid_bytes": segment_invalid_bytes,
+                        },
+                    )
+            ph.annotate(round_index=state.round_index, segment_index=segment_index)
+        state.analyze_ops = ctx.analyze_ops
+        state.sweep_read_seconds += ph.delta.read_seconds
+        state.sweep_write_seconds += ph.delta.write_seconds
+
+    # -- finalize ------------------------------------------------------
+
+    def _finalize(self, state: GCCycleState) -> GCReport | None:
+        self._ensure_runners(state)
+        ctx, copy_forward = self._ctx, self._cf
+        with self.disk.phase("gc.sweep") as ph:
+            copy_forward.finish()
+        state.sweep_read_seconds += ph.delta.read_seconds
+        state.sweep_write_seconds += ph.delta.write_seconds
+        if state.requeue:
+            # The final drain deferred sources with revived chunks: one more
+            # sweep round for them before the cycle may complete.
+            state.phase = "sweep"
+            return None
+
+        result = state.sweep_result
+        result.produced_ids = list(state.produced_ids)
+        state.analyze_ops = ctx.analyze_ops
+        if self._is_gccdf:
+            parallelism = min(
+                getattr(self.migration, "parallel_workers", 1),
+                max(1, state.segments_done),
+            )
+        else:
+            parallelism = 1
+        analyze_seconds = (
+            state.analyze_ops * self.config.gccdf.analyze_op_cost / max(1, parallelism)
+        )
+        tracer = self.disk.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "gc.analyze",
+                sim_time=self.disk.sim_time,
+                duration=analyze_seconds,
+                fields={
+                    "round_index": state.round_index,
+                    "analyze_ops": state.analyze_ops,
+                    "parallelism": parallelism,
+                },
+            )
+
+        self.journal.commit(self._record)
+        self.disk.crash_point("gc.purge", round_index=state.round_index)
+        purged = self.recipes.purge_deleted(only=state.deleted_ids)
+        self.journal.close(self._record)
+        if tracer.enabled:
+            tracer.emit(
+                "gc.purge",
+                sim_time=self.disk.sim_time,
+                fields={
+                    "round_index": state.round_index,
+                    "backups_purged": len(purged),
+                },
+            )
+
+        report = GCReport(
+            round_index=state.round_index,
+            backups_purged=len(purged),
+            involved_containers=len(state.mark_result.gs_list),
+            reclaimed_containers=len(result.reclaimed_ids),
+            produced_containers=len(result.produced_ids),
+            migrated_bytes=result.migrated_bytes,
+            reclaimed_bytes=result.reclaimed_bytes,
+            migrated_chunks=result.migrated_chunks,
+            mark_seconds=state.mark_seconds,
+            analyze_seconds=analyze_seconds,
+            sweep_read_seconds=state.sweep_read_seconds,
+            sweep_write_seconds=state.sweep_write_seconds,
+            analyze_cpu_seconds=state.analyze_cpu_seconds + ctx.analyze_watch.elapsed,
+        )
+        self._rounds = state.round_index + 1
+        self.history.append(report)
+        self._record = None
+        self._state = None
+        self._ctx = None
+        self._cf = None
+        self._gccdf_runners = None
+        return report
+
+
+def partition_container_ids(
+    engine: IncrementalGC, mark: MarkResult, container_id: int
+) -> tuple[list, int]:
+    """Partition one container against a mark result without a sweep context
+    (used while pinning the GCCDF work list)."""
+    container = engine.store.peek(container_id)
+    valid = []
+    invalid_bytes = 0
+    for entry in container.entries:
+        if entry.fp in mark.vc_table:
+            valid.append(entry)
+        else:
+            invalid_bytes += entry.size
+    return valid, invalid_bytes
+
+
+@dataclass
+class MFCycleState:
+    """Persistent state of one incremental MFDedup reorg cycle."""
+
+    round_index: int
+    deleted_ids: list = field(default_factory=list)
+    purged: int = 0
+    oldest_live: int | None = None
+    volumes_dropped: int = 0
+    bytes_dropped: int = 0
+    steps: int = 0
+
+
+class IncrementalMFDedupGC:
+    """Budgeted deletion-only GC for MFDedup (volume reorg in slices).
+
+    Same surface as :class:`IncrementalGC`.  Recovery rolls an interrupted
+    cycle **forward** (the ``volume.reorg`` replay already drops every
+    expired volume, and the selective purge is idempotent), so after a crash
+    the engine simply observes its intent closed and drops the cycle.
+    """
+
+    def __init__(self, service, budget: GCBudget | None = None):
+        self.service = service
+        self.budget = budget or GCBudget()
+        self._rounds = 0
+        self.history: list[GCReport] = []
+        self._record = None
+        self._reorg = None
+        self._state: MFCycleState | None = None
+
+    @property
+    def journal(self):
+        return self.service.volumes.journal
+
+    @property
+    def active(self) -> bool:
+        self._sync()
+        return self._record is not None
+
+    def pending(self) -> int:
+        return len(self.service.recipes.deleted_ids())
+
+    def should_run(self, trigger: int = 1) -> bool:
+        return self.active or self.pending() >= trigger
+
+    def begin(self) -> None:
+        self._sync()
+        if self._record is not None:
+            return
+        state = MFCycleState(
+            round_index=self._rounds,
+            deleted_ids=self.service.recipes.deleted_ids(),
+        )
+        self._state = state
+        self._record = self.journal.begin("gc.cycle", state=state)
+        self._reorg = None
+
+    def collect(self) -> GCReport:
+        self._sync()
+        if self._record is None:
+            self.begin()
+        while True:
+            report = self.step()
+            if report is not None:
+                return report
+
+    def step(self) -> GCReport | None:
+        self._sync()
+        if self._record is None:
+            return None
+        service = self.service
+        state = self._state
+        with service.disk.phase("gc.purge") as ph:
+            if self._reorg is None:
+                purged = service.recipes.purge_deleted(only=state.deleted_ids)
+                state.purged = len(purged)
+                live = service.recipes.live_ids()
+                state.oldest_live = (
+                    live[0] if live else service._next_unseen_id()
+                )
+                self._reorg = self.journal.begin(
+                    "volume.reorg", oldest_live=state.oldest_live
+                )
+                service.disk.crash_point(
+                    "mfdedup.reorg", oldest_live=state.oldest_live
+                )
+            dropped, bytes_dropped = service.volumes.drop_expired(
+                state.oldest_live, limit=self.budget.mfdedup_volumes
+            )
+            for _ in range(dropped):
+                service.disk.write(4096)
+            state.volumes_dropped += dropped
+            state.bytes_dropped += bytes_dropped
+            remaining = service.volumes.expired_count(state.oldest_live)
+            ph.annotate(
+                backups_purged=state.purged,
+                volumes_dropped=dropped,
+                bytes_dropped=bytes_dropped,
+                sweep_write_seconds=dropped * service.config.disk.seek_time,
+            )
+            if remaining:
+                state.steps += 1
+                service.disk.crash_point(
+                    "gc.increment",
+                    round_index=state.round_index,
+                    phase="reorg",
+                    step=state.steps,
+                )
+                return None
+            self.journal.commit(self._reorg)
+            self.journal.close(self._reorg)
+            self.journal.commit(self._record)
+            self.journal.close(self._record)
+
+        container_equivalents = -(
+            -state.bytes_dropped // service.config.container_size
+        )
+        report = GCReport(
+            round_index=state.round_index,
+            backups_purged=state.purged,
+            involved_containers=container_equivalents,
+            reclaimed_containers=container_equivalents,
+            produced_containers=0,
+            migrated_bytes=0,
+            reclaimed_bytes=state.bytes_dropped,
+            migrated_chunks=0,
+            mark_seconds=0.0,
+            analyze_seconds=0.0,
+            sweep_read_seconds=0.0,
+            sweep_write_seconds=state.volumes_dropped
+            * service.config.disk.seek_time,
+        )
+        self._rounds = state.round_index + 1
+        self.history.append(report)
+        self._record = None
+        self._reorg = None
+        self._state = None
+        return report
+
+    def note_live_references(self, fps) -> None:
+        """MFDedup needs no barrier: its GC never invalidates chunks of
+        backups newer than ``oldest_live`` (pinned at cycle start)."""
+
+    def _sync(self) -> None:
+        if self._record is None:
+            return
+        if not any(rec is self._record for rec in self.journal.records("gc.cycle")):
+            # Recovery rolled the cycle forward to completion.
+            self._rounds = max(self._rounds, self._state.round_index + 1)
+            self._record = None
+            self._reorg = None
+            self._state = None

@@ -115,11 +115,21 @@ class RecipeStore:
     def is_deleted(self, backup_id: int) -> bool:
         return backup_id in self._deleted
 
-    def purge_deleted(self) -> list[AnyRecipe]:
+    def purge_deleted(self, only: Iterable[int] | None = None) -> list[AnyRecipe]:
         """Drop logically deleted recipes (called at the end of GC); returns
-        the purged recipes so GC reports can account them."""
-        purged = [self._recipes.pop(backup_id) for backup_id in sorted(self._deleted)]
-        self._deleted.clear()
+        the purged recipes so GC reports can account them.
+
+        ``only`` restricts the purge to a snapshot of backup ids (incremental
+        GC purges exactly the population its cycle marked against; backups
+        deleted mid-cycle wait for the next one).  Ids no longer deleted are
+        skipped, which makes a replayed purge idempotent.
+        """
+        if only is None:
+            targets = sorted(self._deleted)
+        else:
+            targets = [b for b in sorted(only) if b in self._deleted]
+        purged = [self._recipes.pop(backup_id) for backup_id in targets]
+        self._deleted.difference_update(targets)
         for recipe in purged:
             if not isinstance(recipe, ColumnarRecipe):
                 self._tuple_recipes -= 1

@@ -50,6 +50,8 @@ class MFDedupService(BackupService):
         config: SystemConfig | None = None,
         tracer: Tracer | None = None,
         columnar: bool = True,
+        gc_mode: str = "stw",
+        gc_budget=None,
     ):
         self.config = config or SystemConfig.scaled()
         self.config.validate()
@@ -65,7 +67,16 @@ class MFDedupService(BackupService):
         self._cumulative_logical = 0
         self._cumulative_stored = 0
         self._gc_rounds = 0
-        self.gc_history: list[GCReport] = []
+        if gc_mode not in ("stw", "incremental"):
+            raise ValueError(f"unknown gc_mode {gc_mode!r}; choose 'stw' or 'incremental'")
+        self.gc_mode = gc_mode
+        if gc_mode == "incremental":
+            from repro.gc.incremental import IncrementalMFDedupGC
+
+            self.gc = IncrementalMFDedupGC(self, budget=gc_budget)
+            self.gc_history = self.gc.history  # one list, shared with the engine
+        else:
+            self.gc_history: list[GCReport] = []
         self.ingest_history: list[IngestResult] = []
 
     # ------------------------------------------------------------------
@@ -190,6 +201,8 @@ class MFDedupService(BackupService):
 
     def run_gc(self) -> GCReport:
         """Deletion-only GC: drop volumes older than the oldest live backup."""
+        if self.gc_mode == "incremental":
+            return self.gc.collect()
         with self.disk.phase("gc.purge") as ph:
             purged = self.recipes.purge_deleted()
             live = self.recipes.live_ids()

@@ -129,19 +129,27 @@ class VolumeStore:
         """Volumes overlapping one backup — exactly its restore read set."""
         return [v for (f, l), v in sorted(self._volumes.items()) if f <= backup_id <= l]
 
-    def drop_expired(self, oldest_live: int) -> tuple[int, int]:
+    def drop_expired(self, oldest_live: int, limit: int | None = None) -> tuple[int, int]:
         """Delete volumes wholly older than the oldest live backup.
 
         Returns ``(volumes_dropped, bytes_dropped)``.  This is MFDedup's GC:
         no mark, no sweep, no copying — aggregated invalid data is unlinked.
+        ``limit`` bounds one call (incremental GC unlinks in budgeted slices;
+        repeated calls converge on the same total set, in the same order).
         """
         expired = [key for key in self._volumes if key[1] < oldest_live]
+        if limit is not None:
+            expired = expired[:limit]
         dropped_bytes = 0
         for key in expired:
             dropped_bytes += self._volumes[key].size_bytes
             del self._volumes[key]
         self.deleted_bytes += dropped_bytes
         return len(expired), dropped_bytes
+
+    def expired_count(self, oldest_live: int) -> int:
+        """Volumes still eligible for :meth:`drop_expired`."""
+        return sum(1 for key in self._volumes if key[1] < oldest_live)
 
     def __len__(self) -> int:
         return len(self._volumes)

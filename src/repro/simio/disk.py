@@ -16,13 +16,11 @@ simulated seconds accumulated here, which preserves the paper's comparisons
 Phase attribution goes through :meth:`DiskModel.phase`: the context manager
 snapshots the counters on entry, exposes the diffed delta on exit, and —
 when a :class:`~repro.obs.tracer.Tracer` is attached — emits one span event
-per phase with the delta as its I/O payload.  The hand-rolled
-``snapshot()``/``since()`` pairing it replaces is deprecated.
+per phase with the delta as its I/O payload.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import TYPE_CHECKING
 
 from repro.config import DiskConfig
@@ -152,15 +150,3 @@ class DiskModel:
         """
         if self.faults is not None:
             self.faults.reached(name, sim_time=self.sim_time, **context)
-
-    def snapshot(self) -> IOStats:
-        """Deprecated: snapshot counters by hand (pair with
-        :meth:`IOStats.diff`).  Prefer :meth:`phase`, which cannot be
-        mis-paired and feeds the tracer."""
-        warnings.warn(
-            "DiskModel.snapshot() is deprecated; use DiskModel.phase() for "
-            "phase attribution",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.stats.snapshot()

@@ -9,7 +9,6 @@ snapshots and diffs for you (and reports the phase to the attached tracer).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 
@@ -59,16 +58,6 @@ class IOStats:
             read_seconds=self.read_seconds - other.read_seconds,
             write_seconds=self.write_seconds - other.write_seconds,
         )
-
-    def since(self, earlier: "IOStats") -> "IOStats":
-        """Deprecated alias of :meth:`diff` (kept for old call sites)."""
-        warnings.warn(
-            "IOStats.since() is deprecated; use IOStats.diff() (or "
-            "DiskModel.phase(), which pairs snapshot and diff for you)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.diff(earlier)
 
     def merge(self, other: "IOStats") -> None:
         """Add another accumulator's counters into this one."""

@@ -128,18 +128,35 @@ MATRIX_APPROACHES = ("capping", "gccdf", "mfdedup")
 
 
 def _fault_scenario(
-    approach: str, point: str, occurrence: int, dataset_name: str, scale_name: str
+    approach: str,
+    point: str,
+    occurrence: int,
+    dataset_name: str,
+    scale_name: str,
+    gc_mode: str = "stw",
 ) -> tuple[str, str]:
     """Run one crash/recover/verify scenario; return ``(status, detail)``.
 
     ``status`` is ``"ok"`` (crashed, recovered, verified clean),
     ``"skip"`` (the protocol finished before the armed occurrence was
     reached), or ``"fail"`` (verification errors survived recovery).
+
+    In incremental GC mode the service runs a tightly budgeted
+    :class:`~repro.gc.incremental.IncrementalGC` (so ``gc.increment``
+    boundaries actually fire), and after recovery the interrupted cycle is
+    *resumed* to completion and re-verified — the journal must end empty.
     """
     scale = get_scale(scale_name)
     plan = FaultPlan.single(point, occurrence)
     config = scale.config()
-    service = make_service(approach, config, faults=plan)
+    gc_budget = None
+    if gc_mode == "incremental":
+        from repro.gc.incremental import GCBudget
+
+        gc_budget = GCBudget(mark_recipes=3, sweep_containers=2, mfdedup_volumes=1)
+    service = make_service(
+        approach, config, faults=plan, gc_mode=gc_mode, gc_budget=gc_budget
+    )
     driver = RotationDriver(service, config.retention, dataset_name=dataset_name)
     backups = dataset(
         dataset_name,
@@ -154,32 +171,50 @@ def _fault_scenario(
         if verification.errors:
             first = verification.errors[0]
             return "fail", f"{len(verification.errors)} verify errors: {first}"
-        return "ok", (
+        detail = (
             f"crashed at sim_time={crash.context.get('sim_time', 0.0):.2f}s, "
             f"recovered ({report.summary()})"
         )
+        if gc_mode == "incremental":
+            service.run_gc()  # drains any journaled cycle left open by recovery
+            followup = verify_service(service)
+            if followup.errors:
+                return "fail", (
+                    f"{len(followup.errors)} verify errors after resume: "
+                    f"{followup.errors[0]}"
+                )
+            journal = (
+                service.volumes.journal
+                if hasattr(service, "volumes")
+                else service.store.journal
+            )
+            if len(journal):
+                return "fail", f"{len(journal)} journal records left after resume"
+            detail += ", cycle resumed to completion"
+        return "ok", detail
     return "skip", f"point never reached (hits={plan.hits.get(point, 0)})"
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
     if args.matrix:
         scenarios = [
-            (approach, point)
+            (gc_mode, approach, point)
+            for gc_mode in ("stw", "incremental")
             for approach in MATRIX_APPROACHES
-            for point in points_for(approach)
+            for point in points_for(approach, gc_mode=gc_mode)
         ]
     elif args.point:
-        scenarios = [(args.approach, args.point)]
+        scenarios = [(args.gc_mode, args.approach, args.point)]
     else:
         raise SystemExit("pass --point <crash-point> or --matrix")
 
     failures = 0
     fired = 0
-    for approach, point in scenarios:
+    for gc_mode, approach, point in scenarios:
         status, detail = _fault_scenario(
-            approach, point, args.occurrence, args.dataset, args.scale
+            approach, point, args.occurrence, args.dataset, args.scale, gc_mode=gc_mode
         )
-        print(f"{status:<5} {approach:<8} {point:<18} {detail}")
+        print(f"{status:<5} {gc_mode:<11} {approach:<8} {point:<18} {detail}")
         if status == "fail":
             failures += 1
         elif status == "ok":
@@ -246,9 +281,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=sorted(SCALES), default="quick", help="experiment scale"
     )
     faults.add_argument(
+        "--gc-mode",
+        choices=("stw", "incremental"),
+        default="stw",
+        help="GC mode for a single --point scenario (gc.increment only "
+        "fires in incremental mode); --matrix always covers both",
+    )
+    faults.add_argument(
         "--matrix",
         action="store_true",
-        help="run every crash point for capping, gccdf, and mfdedup",
+        help="run every crash point for capping, gccdf, and mfdedup, "
+        "in both stop-the-world and incremental GC modes",
     )
     faults.set_defaults(func=cmd_faults)
     return parser

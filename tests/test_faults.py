@@ -90,8 +90,15 @@ class TestFaultPlan:
         for approach in ("naive", "capping", "gccdf", "mfdedup"):
             assert set(points_for(approach)) <= set(CRASH_POINTS)
             reachable |= set(points_for(approach))
+            reachable |= set(points_for(approach, gc_mode="incremental"))
         assert reachable == set(CRASH_POINTS)
         assert points_for("naive") == CONTAINER_POINTS
+        # The boundary point exists only on the incremental GC's data path.
+        assert points_for("naive", gc_mode="incremental") == CONTAINER_POINTS + (
+            "gc.increment",
+        )
+        assert "gc.increment" not in points_for("mfdedup")
+        assert "gc.increment" in points_for("mfdedup", gc_mode="incremental")
 
 
 class TestIntentJournal:

@@ -138,11 +138,11 @@ class TestIOStatsAndPhases:
             disk.stats.total_seconds - before.total_seconds
         )
 
-    def test_since_is_deprecated_alias_of_diff(self):
+    def test_diff_is_the_only_delta_primitive(self):
         stats = IOStats(read_ops=5, read_bytes=500)
         earlier = IOStats(read_ops=2, read_bytes=200)
-        with pytest.warns(DeprecationWarning):
-            assert stats.since(earlier) == stats.diff(earlier)
+        assert stats.diff(earlier) == IOStats(read_ops=3, read_bytes=300)
+        assert not hasattr(stats, "since")  # the deprecated alias is gone
 
     def test_to_dict_lists_all_six_counters(self):
         data = IOStats(read_ops=1, write_ops=2).to_dict()

@@ -40,11 +40,17 @@ class TestDiskModel:
     def test_snapshot_isolated_from_future_ops(self):
         disk = DiskModel()
         disk.read(100)
-        with pytest.warns(DeprecationWarning):
-            snap = disk.snapshot()
+        snap = disk.stats.snapshot()
         disk.read(100)
         assert snap.read_ops == 1
         assert disk.stats.read_ops == 2
+
+    def test_deprecated_shims_are_gone(self):
+        # DiskModel.snapshot() and IOStats.since() were removed; the
+        # supported surface is IOStats.snapshot()/diff() and, preferably,
+        # DiskModel.phase().
+        assert not hasattr(DiskModel(), "snapshot")
+        assert not hasattr(IOStats(), "since")
 
 
 class TestPhaseScope:
@@ -71,14 +77,12 @@ class TestPhaseScope:
 
 
 class TestIOStats:
-    def test_since_diffs_all_fields(self):
+    def test_diff_covers_all_fields(self):
         disk = DiskModel(DiskConfig(bandwidth=1000.0, seek_time=0.0))
-        with pytest.warns(DeprecationWarning):
-            before = disk.snapshot()
-        disk.read(500)
-        disk.write(250)
-        with pytest.warns(DeprecationWarning):
-            delta = disk.snapshot().since(before)
+        with disk.phase("test") as ph:
+            disk.read(500)
+            disk.write(250)
+        delta = ph.delta
         assert delta.read_bytes == 500
         assert delta.write_bytes == 250
         assert delta.read_seconds == pytest.approx(0.5)
