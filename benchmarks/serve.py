@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Read-serving benchmark — thin wrapper over :mod:`repro.serve.bench`.
+
+Gates (1) read/restore equivalence: ``open_backup(id).read_all()`` is
+counter-identical to ``service.restore(id)`` for every approach, and
+(2, with ``--gate-latency``) aged point reads: GCCDF's piggybacked
+defragmentation and MFDedup's lifecycle layout beat the naive baseline on
+the oldest live backup's simulated read latency::
+
+    PYTHONPATH=src python benchmarks/serve.py \\
+        --gate-latency --out benchmarks/results/BENCH_serve.json
+
+See docs/serving.md for how to read ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.serve.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

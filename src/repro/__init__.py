@@ -40,8 +40,10 @@ from repro.backup import (
     DedupBackupService,
     RotationDriver,
     RotationResult,
+    ServiceOptions,
     ServiceStats,
     make_service,
+    service_factory,
 )
 from repro.backup.driver import BackupSpec
 from repro.backup.verify import verify_service
@@ -76,6 +78,7 @@ from repro.obs import (
     read_trace,
     write_trace,
 )
+from repro.serve import BackupReader, ReadReport, TieredReadCache
 from repro.simio import DiskModel, IOStats, PhaseScope
 from repro.workloads import DATASET_NAMES, Dataset, dataset
 
@@ -92,11 +95,16 @@ __all__ = [
     "APPROACHES",
     "BackupService",
     "ServiceStats",
+    "ServiceOptions",
     "DedupBackupService",
     "RotationDriver",
     "RotationResult",
     "BackupSpec",
     "make_service",
+    "service_factory",
+    "BackupReader",
+    "ReadReport",
+    "TieredReadCache",
     "verify_service",
     "CRASH_POINTS",
     "FaultPlan",

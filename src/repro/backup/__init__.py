@@ -2,17 +2,20 @@
 
 from repro.backup.service import BackupService, ServiceStats
 from repro.backup.system import DedupBackupService
+from repro.backup.options import ServiceOptions
 from repro.backup.retention import RetentionPolicy
-from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.approaches import APPROACHES, make_service, service_factory
 from repro.backup.driver import RotationDriver, RotationResult
 
 __all__ = [
     "BackupService",
     "ServiceStats",
+    "ServiceOptions",
     "DedupBackupService",
     "RetentionPolicy",
     "APPROACHES",
     "make_service",
+    "service_factory",
     "RotationDriver",
     "RotationResult",
 ]

@@ -11,18 +11,25 @@ smr         SMR rewriting + classic GC
 gccdf       full dedup, no rewriting, GCCDF-powered GC
 mfdedup     MFDedup engine (neighbor dedup, volumes, deletion-only GC)
 ==========  =============================================================
+
+Cross-cutting construction knobs travel in one frozen
+:class:`~repro.backup.options.ServiceOptions` value; the individual
+keywords (``tracer``, ``faults``, ``columnar``, ``gc_mode``,
+``gc_budget``) remain as deprecated shims that fold into it.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 
+from repro.backup.options import DEFAULT_OPTIONS, ServiceOptions
 from repro.backup.service import BackupService
 from repro.backup.system import DedupBackupService
 from repro.config import SystemConfig
 from repro.core.gccdf import GCCDFMigration
 from repro.dedup.rewriting import make_rewriting
-from repro.faults.plan import FaultPlan
+from repro.errors import ConfigError
 from repro.gc.migration import NaiveMigration
 from repro.mfdedup.engine import MFDedupService
 from repro.obs.tracer import Tracer
@@ -30,80 +37,144 @@ from repro.obs.tracer import Tracer
 #: Approaches in the order the paper's figures list them.
 APPROACHES = ("nondedup", "naive", "capping", "har", "smr", "mfdedup", "gccdf")
 
+#: Valid ``**policy_kwargs`` per approach; approaches without a rewriting
+#: policy accept none.
+POLICY_KNOBS: dict[str, tuple[str, ...]] = {
+    "capping": ("cap", "segment_containers"),
+    "har": ("utilization_threshold",),
+    "smr": ("utility_threshold", "rewrite_budget", "segment_containers"),
+}
+
+#: Sentinel distinguishing "keyword not passed" from an explicit value for
+#: the deprecated make_service keywords.
+_UNSET = object()
+
+
+def _validate_policy_kwargs(approach: str, policy_kwargs: dict) -> None:
+    """Reject policy kwargs the approach's rewriting policy does not take.
+
+    Mirrors the unknown-preset :class:`~repro.errors.ConfigError`
+    treatment: the error names the approach and its valid knobs, instead
+    of silently dropping the kwarg (nondedup/naive/gccdf/mfdedup
+    historically ignored them — a typo'd ``cap=`` simply vanished).
+    """
+    if not policy_kwargs:
+        return
+    valid = POLICY_KNOBS.get(approach, ())
+    unknown = sorted(set(policy_kwargs) - set(valid))
+    if not unknown:
+        return
+    if valid:
+        raise ConfigError(
+            f"unknown policy kwarg(s) {unknown} for approach {approach!r}; "
+            f"valid knobs: {sorted(valid)}"
+        )
+    raise ConfigError(
+        f"approach {approach!r} takes no policy kwargs, got {unknown}"
+    )
+
+
+def _fold_deprecated_keywords(options: ServiceOptions, legacy: dict) -> ServiceOptions:
+    """Fold deprecated per-keyword options into a ``ServiceOptions`` value."""
+    passed = {name: value for name, value in legacy.items() if value is not _UNSET}
+    if not passed:
+        return options
+    warnings.warn(
+        f"make_service keyword(s) {sorted(passed)} are deprecated; pass "
+        f"options=ServiceOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return options.with_overrides(**passed)
+
 
 def make_service(
     approach: str,
     config: SystemConfig | None = None,
+    options: ServiceOptions | None = None,
     seed: int = 0,
-    tracer: Tracer | None = None,
-    faults: FaultPlan | None = None,
-    columnar: bool | None = None,
-    gc_mode: str = "stw",
-    gc_budget=None,
+    *,
+    tracer=_UNSET,
+    faults=_UNSET,
+    columnar=_UNSET,
+    gc_mode=_UNSET,
+    gc_budget=_UNSET,
     **policy_kwargs,
 ) -> BackupService:
     """Build a backup service for one approach.
 
-    ``policy_kwargs`` are forwarded to the rewriting policy (e.g.
-    ``cap=20`` for capping, ``utilization_threshold=0.5`` for HAR).
-    ``tracer`` attaches a :class:`~repro.obs.tracer.Tracer` to the
-    service's simulated disk; the default is the null tracer (no events,
-    unmeasurable overhead).  ``faults`` arms a
-    :class:`~repro.faults.FaultPlan` on the service's disk — the run then
-    raises :class:`~repro.errors.SimulatedCrash` at the armed point, after
-    which ``service.recover()`` repairs the system.  ``columnar`` selects
-    the recipe representation (interned id/size columns versus the legacy
-    ``ChunkRef`` tuples — outputs are identical; only speed differs);
-    ``None`` defers to the ``REPRO_HOTPATH`` environment variable
-    (``legacy`` forces the tuple path, anything else the default columns).
-    ``gc_mode="incremental"`` swaps the stop-the-world GC for the budgeted
-    :class:`~repro.gc.incremental.IncrementalGC` (``gc_budget`` sizes its
-    increments); a drained incremental cycle is counter-identical to one
-    stop-the-world ``run_gc``.
+    ``options`` carries every cross-cutting knob (see
+    :class:`~repro.backup.options.ServiceOptions`): the attached tracer,
+    an armed fault plan, the recipe representation, the GC mode/budget,
+    and the serve layer's read-cache capacities.  ``policy_kwargs`` are
+    forwarded to the approach's rewriting policy (e.g. ``cap=20`` for
+    capping, ``utilization_threshold=0.5`` for HAR); unknown policy
+    kwargs raise :class:`~repro.errors.ConfigError` naming the approach
+    and its valid knobs.  ``seed`` feeds GCCDF's migration RNG.
+
+    The keywords ``tracer``/``faults``/``columnar``/``gc_mode``/
+    ``gc_budget`` are deprecated shims: passing one emits a
+    :class:`DeprecationWarning` and overrides the corresponding
+    ``options`` field.
     """
     config = config or SystemConfig.scaled()
-    if columnar is None:
-        columnar = os.environ.get("REPRO_HOTPATH", "").lower() != "legacy"
-    service = _build_service(
-        approach, config, seed, tracer, columnar, gc_mode, gc_budget, **policy_kwargs
+    options = options if options is not None else DEFAULT_OPTIONS
+    options = _fold_deprecated_keywords(
+        options,
+        {
+            "tracer": tracer,
+            "faults": faults,
+            "columnar": columnar,
+            "gc_mode": gc_mode,
+            "gc_budget": gc_budget,
+        },
     )
-    if faults is not None:
-        service.disk.faults = faults
+    options.validate()
+    _validate_policy_kwargs(approach, policy_kwargs)
+    resolved_columnar = options.columnar
+    if resolved_columnar is None:
+        resolved_columnar = os.environ.get("REPRO_HOTPATH", "").lower() != "legacy"
+    service = _build_service(
+        approach, config, seed, options, resolved_columnar, **policy_kwargs
+    )
+    if options.faults is not None:
+        service.disk.faults = options.faults
     return service
 
 
 def service_factory(
     approach: str,
     config: SystemConfig | None = None,
-    columnar: bool | None = None,
-    gc_mode: str = "stw",
-    gc_budget=None,
+    options: ServiceOptions | None = None,
+    *,
+    columnar=_UNSET,
+    gc_mode=_UNSET,
+    gc_budget=_UNSET,
     **policy_kwargs,
 ):
-    """Bind an approach and config once; build instances on demand.
+    """Bind an approach, config, and options once; build instances on demand.
 
     Returns ``build(seed=0, tracer=None) -> BackupService``.  Multi-service
     hosts (the fleet's shard runner builds one service per shard or per
     tenant) resolve the approach and validate the config a single time, then
     stamp out services that differ only in their seed (GCCDF's migration
-    RNG) and attached tracer.
+    RNG) and attached tracer.  The ``columnar``/``gc_mode``/``gc_budget``
+    keywords are deprecated shims, exactly as on :func:`make_service`.
     """
     if approach not in APPROACHES:
         raise ValueError(f"unknown approach {approach!r}; choose from {APPROACHES}")
     config = config or SystemConfig.scaled()
     config.validate()
+    base = options if options is not None else DEFAULT_OPTIONS
+    base = _fold_deprecated_keywords(
+        base, {"columnar": columnar, "gc_mode": gc_mode, "gc_budget": gc_budget}
+    )
+    base.validate()
+    _validate_policy_kwargs(approach, policy_kwargs)
 
     def build(seed: int = 0, tracer: Tracer | None = None) -> BackupService:
-        return make_service(
-            approach,
-            config,
-            seed=seed,
-            tracer=tracer,
-            columnar=columnar,
-            gc_mode=gc_mode,
-            gc_budget=gc_budget,
-            **policy_kwargs,
-        )
+        built = base if tracer is None else base.with_overrides(tracer=tracer)
+        return make_service(approach, config, built, seed=seed, **policy_kwargs)
 
     return build
 
@@ -112,17 +183,24 @@ def _build_service(
     approach: str,
     config: SystemConfig,
     seed: int,
-    tracer: Tracer | None,
+    options: ServiceOptions,
     columnar: bool,
-    gc_mode: str = "stw",
-    gc_budget=None,
     **policy_kwargs,
 ) -> BackupService:
-    gc_kwargs = {"gc_mode": gc_mode, "gc_budget": gc_budget}
+    tracer = options.tracer
+    gc_kwargs = {"gc_mode": options.gc_mode, "gc_budget": options.gc_budget}
     if approach == "mfdedup":
         return MFDedupService(
-            config=config, tracer=tracer, columnar=columnar, **gc_kwargs
+            config=config,
+            tracer=tracer,
+            columnar=columnar,
+            read_cache_chunks=options.read_cache_chunks,
+            **gc_kwargs,
         )
+    serve_kwargs = {
+        "read_cache_containers": options.read_cache_containers,
+        "read_cache_chunks": options.read_cache_chunks,
+    }
     if approach == "nondedup":
         return DedupBackupService(
             config=config,
@@ -132,6 +210,7 @@ def _build_service(
             tracer=tracer,
             columnar=columnar,
             **gc_kwargs,
+            **serve_kwargs,
         )
     if approach == "gccdf":
         return DedupBackupService(
@@ -141,6 +220,7 @@ def _build_service(
             tracer=tracer,
             columnar=columnar,
             **gc_kwargs,
+            **serve_kwargs,
         )
     if approach in ("naive", "capping", "har", "smr"):
         service = DedupBackupService(
@@ -150,6 +230,7 @@ def _build_service(
             tracer=tracer,
             columnar=columnar,
             **gc_kwargs,
+            **serve_kwargs,
         )
         if approach != "naive":
             service.pipeline.rewriting = make_rewriting(

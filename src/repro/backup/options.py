@@ -1,0 +1,76 @@
+"""Service construction options, folded into one frozen dataclass.
+
+:func:`~repro.backup.approaches.make_service` grew one keyword per
+subsystem (tracer, faults, columnar, GC mode and budget, and now the
+serve-layer cache knobs); :class:`ServiceOptions` is that surface as a
+single immutable value that can be validated once, shared across a fleet
+of services, and extended without touching every call-site signature.
+
+The old keywords remain as deprecated shims on ``make_service`` — passing
+one emits a :class:`DeprecationWarning` and folds it into the options
+value — so external callers keep working while in-repo code migrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.faults.plan import FaultPlan
+    from repro.gc.incremental import GCBudget
+    from repro.obs.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Cross-cutting construction options for every approach.
+
+    ``tracer`` attaches a :class:`~repro.obs.tracer.Tracer` to the
+    service's simulated disk (default: the null tracer).  ``faults`` arms
+    a :class:`~repro.faults.FaultPlan` on the disk.  ``columnar`` selects
+    the recipe representation (``None`` defers to the ``REPRO_HOTPATH``
+    environment variable).  ``gc_mode``/``gc_budget`` select stop-the-world
+    versus budgeted incremental GC.  ``read_cache_containers`` /
+    ``read_cache_chunks`` size the serve layer's
+    :class:`~repro.serve.cache.TieredReadCache` tiers (``None`` =
+    unbounded tier).
+    """
+
+    tracer: "Tracer | None" = None
+    faults: "FaultPlan | None" = None
+    columnar: bool | None = None
+    gc_mode: str = "stw"
+    gc_budget: "GCBudget | None" = None
+    read_cache_containers: int | None = 8
+    read_cache_chunks: int | None = 1024
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigError` on invalid knobs."""
+        if self.gc_mode not in ("stw", "incremental"):
+            raise ConfigError(
+                f"unknown gc_mode {self.gc_mode!r}; choose 'stw' or 'incremental'"
+            )
+        for knob in ("read_cache_containers", "read_cache_chunks"):
+            value = getattr(self, knob)
+            if value is not None and value <= 0:
+                raise ConfigError(f"{knob} must be positive or None, got {value!r}")
+
+    def with_overrides(self, **changes) -> "ServiceOptions":
+        """A copy with the given fields replaced (validated)."""
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(changes) - valid)
+        if unknown:
+            raise ConfigError(
+                f"unknown ServiceOptions field(s) {unknown}; valid fields: "
+                f"{sorted(valid)}"
+            )
+        options = replace(self, **changes)
+        options.validate()
+        return options
+
+
+#: The all-defaults options value (shared; the dataclass is frozen).
+DEFAULT_OPTIONS = ServiceOptions()

@@ -96,6 +96,16 @@ class BackupService(ABC):
         Approaches without such counters return the default empty dict."""
         return {}
 
+    def open_backup(self, backup_id: int):
+        """Open a live backup for random-access reads; returns a
+        :class:`~repro.serve.reader.BackupReader`.
+
+        All shipped approaches implement this; the default raises for
+        third-party services that predate the serving layer."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support read serving"
+        )
+
     # ------------------------------------------------------------------
     # Deprecated accounting shims (use :meth:`stats` instead).
     # ------------------------------------------------------------------

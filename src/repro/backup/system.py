@@ -24,6 +24,7 @@ from repro.backup.service import BackupService, ChunkStream, ServiceStats
 from repro.config import SystemConfig
 from repro.dedup.pipeline import IngestPipeline, IngestResult
 from repro.dedup.rewriting.base import RewritingPolicy
+from repro.errors import BackupAlreadyDeletedError
 from repro.gc.engine import MarkSweepGC
 from repro.gc.incremental import GCBudget, IncrementalGC
 from repro.gc.migration import MigrationStrategy
@@ -33,6 +34,8 @@ from repro.index.recipe import RecipeStore
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.restore.engine import RestoreEngine
 from repro.restore.report import RestoreReport
+from repro.serve.cache import TieredReadCache
+from repro.serve.reader import BackupReader, ContainerReadStrategy
 from repro.simio.disk import DiskModel
 from repro.storage.store import ContainerStore
 
@@ -51,6 +54,8 @@ class DedupBackupService(BackupService):
         columnar: bool = True,
         gc_mode: str = "stw",
         gc_budget: GCBudget | None = None,
+        read_cache_containers: int | None = 8,
+        read_cache_chunks: int | None = 1024,
     ):
         self.config = config or SystemConfig.scaled()
         self.config.validate()
@@ -96,6 +101,12 @@ class DedupBackupService(BackupService):
         self._cumulative_logical = 0
         self._cumulative_stored = 0
         self.ingest_history: list[IngestResult] = []
+        # The serve layer's tiered cache, shared by every reader of this
+        # service; built lazily so services that never serve reads keep
+        # their runtime metrics (and golden outputs) untouched.
+        self._read_cache_containers = read_cache_containers
+        self._read_cache_chunks = read_cache_chunks
+        self._read_cache: TieredReadCache | None = None
 
     # ------------------------------------------------------------------
     # BackupService interface
@@ -135,6 +146,33 @@ class DedupBackupService(BackupService):
 
         return recover(self.store, self.index, self.recipes)
 
+    @property
+    def read_cache(self) -> TieredReadCache:
+        """The shared tiered read cache (created on first use)."""
+        cache = self._read_cache
+        if cache is None:
+            cache = self._read_cache = TieredReadCache(
+                self.store,
+                container_capacity=self._read_cache_containers,
+                chunk_capacity=self._read_cache_chunks,
+            )
+        return cache
+
+    def open_backup(self, backup_id: int) -> BackupReader:
+        """Open a live backup for random-access reads."""
+        if self.recipes.is_deleted(backup_id):
+            raise BackupAlreadyDeletedError(
+                f"backup {backup_id} is deleted and cannot be opened"
+            )
+        recipe = self.recipes.get(backup_id)
+        return BackupReader(
+            backup_id=backup_id,
+            recipe=recipe,
+            strategy=ContainerReadStrategy(self.index, self.read_cache),
+            disk=self.disk,
+            restore=lambda: self.restorer.restore(backup_id),
+        )
+
     def live_backup_ids(self) -> list[int]:
         return self.recipes.live_ids()
 
@@ -158,6 +196,8 @@ class DedupBackupService(BackupService):
             metrics["index.guard_probes"] = index.guard_probes
             metrics["index.guard_skips"] = index.guard_skips
             metrics["index.guard_skip_rate"] = index.guard_skip_rate
+        if self._read_cache is not None:
+            metrics.update(self._read_cache.counters())
         return metrics
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ import sys
 import time
 
 from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.options import ServiceOptions
 from repro.backup.driver import BackupSpec
 from repro.backup.service import BackupService
 from repro.experiments.common import SCALES, get_scale
@@ -43,7 +44,7 @@ DEFAULT_APPROACHES = ("naive", "capping")
 
 
 def _build_service(approach: str, scale, columnar: bool) -> BackupService:
-    return make_service(approach, scale.config(), columnar=columnar)
+    return make_service(approach, scale.config(), ServiceOptions(columnar=columnar))
 
 
 def _bench_ingest(

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.backup.approaches import make_service
+from repro.backup.options import ServiceOptions
 from repro.backup.driver import RotationDriver, RotationResult
 from repro.config import SystemConfig
 from repro.errors import ConfigError
@@ -170,7 +171,7 @@ def run_protocol(
         restore_cache_containers=restore_cache_containers,
         **gccdf_overrides,
     )
-    service = make_service(approach, config, tracer=tracer)
+    service = make_service(approach, config, ServiceOptions(tracer=tracer))
     driver = RotationDriver(service, config.retention, dataset_name=dataset_name)
     backups = make_dataset(
         dataset_name,

@@ -89,6 +89,8 @@ def build_config(args: argparse.Namespace) -> FleetConfig:
         gc_mark_budget=args.gc_mark_budget,
         gc_sweep_budget=args.gc_sweep_budget,
         gc_trigger_deleted=args.gc_trigger,
+        read_requests=args.reads,
+        read_fraction=args.read_fraction,
         seed=args.seed,
         **params,
     )
@@ -111,6 +113,15 @@ def print_result(result, verbose: bool) -> None:
     )
     physical = counters.get("service.physical_bytes", 0)
     print(f"physical bytes:      {format_bytes(int(physical))}")
+    if counters.get("read.requests", 0):
+        quantiles = result.read_latency_quantiles()
+        print(
+            "read latency:        "
+            f"p50 {quantiles['p50'] * 1000:.2f}ms / "
+            f"p99 {quantiles['p99'] * 1000:.2f}ms / "
+            f"max {quantiles['max'] * 1000:.2f}ms (simulated, "
+            f"{int(counters['read.requests'])} reads)"
+        )
     if verbose:
         for shard in result.shards:
             print(
@@ -176,6 +187,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--gc-trigger", type=int, default=1,
         help="pending deletions required before an epoch starts a new "
         "incremental cycle (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--reads", type=int, default=0,
+        help="jittered point reads per tenant against its oldest live "
+        "backup, after the restore phase (default: %(default)s = none)",
+    )
+    parser.add_argument(
+        "--read-fraction", type=float, default=0.0625,
+        help="fraction of the backup's logical size each point read covers "
+        "(default: %(default)s)",
     )
     parser.add_argument("--seed", type=int, default=2025, help="fleet seed")
     parser.add_argument(

@@ -42,6 +42,9 @@ class ShardResult:
     ingest_stalls: list[float] = field(default_factory=list)
     #: Per-GC-burst device-time samples (simulated seconds), request order.
     gc_pauses: list[float] = field(default_factory=list)
+    #: Per-read simulated latency samples (every ``read`` request ships its
+    #: sample — reads are few, so fleet quantiles are exact), request order.
+    read_latencies: list[float] = field(default_factory=list)
 
     @property
     def dedup_ratio(self) -> float:
@@ -61,6 +64,7 @@ class ShardResult:
             "metrics": self.metrics,
             "ingest_stalls": list(self.ingest_stalls),
             "gc_pauses": list(self.gc_pauses),
+            "read_latencies": list(self.read_latencies),
         }
 
     @classmethod
@@ -74,6 +78,7 @@ class ShardResult:
             metrics=dict(data["metrics"]),
             ingest_stalls=list(data.get("ingest_stalls", [])),
             gc_pauses=list(data.get("gc_pauses", [])),
+            read_latencies=list(data.get("read_latencies", [])),
         )
 
 
@@ -162,6 +167,23 @@ class FleetResult:
             index = rank - 1
             quantiles[label] = 0.0 if index < zeros else nonzero[index - zeros]
         quantiles["max"] = nonzero[-1] if nonzero else 0.0
+        return quantiles
+
+    def read_latency_quantiles(self) -> dict[str, float]:
+        """Exact simulated-latency quantiles over every ``read`` request,
+        fleet-wide (nearest-rank; every sample ships in the shard results,
+        so no zeros are implied).  All-zero when the fleet ran no reads."""
+        samples = sorted(
+            latency for shard in self.shards for latency in shard.read_latencies
+        )
+        total = len(samples)
+        if total == 0:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        quantiles = {}
+        for label, p in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+            rank = max(1, -(-int(p * 1000) * total // 1000))  # ceil(p*total)
+            quantiles[label] = samples[rank - 1]
+        quantiles["max"] = samples[-1]
         return quantiles
 
     @property

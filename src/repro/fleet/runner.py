@@ -50,6 +50,8 @@ def plan_shards(config: FleetConfig, trace: bool = False) -> list[ShardTask]:
             gc_mark_budget=config.gc_mark_budget,
             gc_sweep_budget=config.gc_sweep_budget,
             gc_trigger_deleted=config.gc_trigger_deleted,
+            read_requests=config.read_requests,
+            read_fraction=config.read_fraction,
         )
         for shard_id, tenants in enumerate(config.shard_tenants())
     ]

@@ -27,13 +27,17 @@ tenants on simulated time:
   stop-the-world fleets are bit-for-bit unchanged by this mode existing.
 * After the final GC epoch each tenant issues one ``restore`` request
   covering all its live backups.
+* With ``read_requests > 0`` each tenant then issues that many ``read``
+  requests — jittered point reads against its *oldest* live backup (the
+  serving layer's aged-backup traffic class) — spaced one per
+  ``backup_period`` after its restore, each with its own derived jitter.
 
 Total order: requests sort by ``(time, kind priority, tenant, backup)``
-with priority rotate < gc < gc_step < ingest < restore, so ties at one
-instant replay the driver's delete → GC → ingest round structure.  The
-schedule is a pure function of ``(tenants, retention, periods, seed)`` —
-no wall clock, no process state — which is what makes ``--jobs N`` shard
-execution byte-identical to serial.
+with priority rotate < gc < gc_step < ingest < restore < read, so ties at
+one instant replay the driver's delete → GC → ingest round structure.
+The schedule is a pure function of ``(tenants, retention, periods,
+seed)`` — no wall clock, no process state — which is what makes
+``--jobs N`` shard execution byte-identical to serial.
 """
 
 from __future__ import annotations
@@ -45,7 +49,14 @@ from repro.fleet.topology import TenantSpec
 from repro.util.rng import DeterministicRng, derive_seed
 
 #: Tie-break order for requests landing on the same simulated instant.
-KIND_PRIORITY = {"rotate": 0, "gc": 1, "gc_step": 2, "ingest": 3, "restore": 4}
+KIND_PRIORITY = {
+    "rotate": 0,
+    "gc": 1,
+    "gc_step": 2,
+    "ingest": 3,
+    "restore": 4,
+    "read": 5,
+}
 
 
 @dataclass(frozen=True)
@@ -95,6 +106,7 @@ def shard_schedule(
     fleet_seed: int,
     gc_mode: str = "stw",
     gc_step_period: float = 0.25,
+    read_requests: int = 0,
 ) -> tuple[Request, ...]:
     """The shard's full request sequence, merged and totally ordered."""
     requests: list[Request] = []
@@ -136,6 +148,26 @@ def shard_schedule(
         requests.append(
             Request(horizon + (1 + jitters[spec.name]) * backup_period, "restore", spec.name)
         )
+
+    # Point reads against aged backups, after the tenant's restore: read
+    # ``i`` lands ``(i + r_i)`` periods later, ``r_i ∈ [0, 1)`` derived
+    # per (tenant, read index).  ``backup_index`` carries the read index
+    # (the handler derives the request's offset from it).
+    if read_requests > 0:
+        for spec in tenants:
+            base = horizon + (1 + jitters[spec.name]) * backup_period
+            for i in range(read_requests):
+                r = DeterministicRng(
+                    derive_seed(fleet_seed, "read", spec.name, i)
+                ).random()
+                requests.append(
+                    Request(
+                        base + (i + r) * backup_period,
+                        "read",
+                        spec.name,
+                        backup_index=i,
+                    )
+                )
 
     requests.sort(key=Request.sort_key)
     return tuple(requests)

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass
 
 from repro.backup.approaches import service_factory
+from repro.backup.options import ServiceOptions
 from repro.backup.service import BackupService
 from repro.config import SystemConfig
 from repro.fleet.result import ShardResult
@@ -37,7 +38,7 @@ from repro.fleet.scheduler import Request, shard_schedule
 from repro.fleet.topology import TenantSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import TraceRecorder, Tracer
-from repro.util.rng import derive_seed
+from repro.util.rng import DeterministicRng, derive_seed
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,8 @@ class ShardTask:
     gc_mark_budget: int = 8
     gc_sweep_budget: int = 4
     gc_trigger_deleted: int = 1
+    read_requests: int = 0
+    read_fraction: float = 0.0625
 
 
 class _ShardExecutor:
@@ -84,7 +87,9 @@ class _ShardExecutor:
                 mfdedup_volumes=task.gc_sweep_budget,
             )
         self.build = service_factory(
-            task.approach, self.config, gc_mode=task.gc_mode, gc_budget=gc_budget
+            task.approach,
+            self.config,
+            ServiceOptions(gc_mode=task.gc_mode, gc_budget=gc_budget),
         )
         #: service key → service; ``"@shard"`` in the shared domain, the
         #: tenant name in the tenant domain.  Built eagerly in declaration
@@ -110,6 +115,9 @@ class _ShardExecutor:
         #: shipping every zero.
         self.ingest_stalls: list[float] = []
         self.gc_pauses: list[float] = []
+        #: Simulated seconds of every ``read`` request, in request order —
+        #: all samples ship (reads are few), so fleet quantiles are exact.
+        self.read_latencies: list[float] = []
         #: Final GC epoch instant — set by :meth:`run` from the schedule.
         self.final_gc_time = 0.0
         self.live_ids: dict[str, list[int]] = {spec.name: [] for spec in task.tenants}
@@ -307,6 +315,37 @@ class _ShardExecutor:
             summary["backups_restored"] += 1
             summary["read_amplification_sum"] += report.read_amplification
 
+    def _read(self, request: Request) -> None:
+        """One point read against the tenant's *oldest* live backup — the
+        aged end of the retention window, where fragmentation (and so the
+        serving layer's tiered-cache behaviour) is worst."""
+        tenant = request.tenant
+        live = self.live_ids[tenant]
+        if not live:
+            self.requests_executed["read_skipped"] = (
+                self.requests_executed.get("read_skipped", 0) + 1
+            )
+            return
+        service = self.services[self._service_key(tenant)]
+        rng = DeterministicRng(
+            derive_seed(self.task.seed, "read", tenant, request.backup_index)
+        )
+        registry = self.registry
+        with service.open_backup(live[0]) as reader:
+            length = max(1, int(reader.size * self.task.read_fraction))
+            offset = rng.randint(0, max(0, reader.size - length))
+            report = reader.pread(offset, length)
+        registry.count("read.requests")
+        registry.count("read.chunks", report.num_chunks)
+        registry.count("read.containers_read", report.containers_read)
+        registry.count("read.container_bytes_read", report.container_bytes_read)
+        registry.count("read.logical_bytes", report.bytes_read)
+        registry.count("read.chunk_hits", report.chunk_hits)
+        registry.count("read.container_hits", report.container_hits)
+        registry.count("phase_seconds.read", report.read_seconds)
+        registry.observe("fleet.read_latency", report.read_seconds)
+        self.read_latencies.append(report.read_seconds)
+
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
@@ -317,6 +356,7 @@ class _ShardExecutor:
         "gc": _gc,
         "gc_step": _gc_step,
         "restore": _restore,
+        "read": _read,
     }
 
     def run(self) -> ShardResult:
@@ -330,6 +370,7 @@ class _ShardExecutor:
             task.seed,
             gc_mode=task.gc_mode,
             gc_step_period=task.gc_step_period,
+            read_requests=task.read_requests,
         )
         self.final_gc_time = max(
             (request.time for request in schedule if request.kind == "gc"),
@@ -384,6 +425,7 @@ class _ShardExecutor:
             metrics=registry.to_dict(),
             ingest_stalls=list(self.ingest_stalls),
             gc_pauses=list(self.gc_pauses),
+            read_latencies=list(self.read_latencies),
         )
 
 

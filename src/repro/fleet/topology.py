@@ -133,6 +133,11 @@ class FleetConfig:
     #: least this many deletions are pending (the final epoch always
     #: collects everything, so the fleet ends garbage-free in both modes).
     gc_trigger_deleted: int = 1
+    #: Read-serving traffic: jittered point reads per tenant against its
+    #: oldest live backup, issued after the tenant's restore (0 = none).
+    read_requests: int = 0
+    #: Fraction of the target backup's logical size each point read covers.
+    read_fraction: float = 0.0625
     #: Root seed for scheduler jitter and per-service (GCCDF migration) RNGs.
     seed: int = 2025
 
@@ -169,6 +174,14 @@ class FleetConfig:
             raise ConfigError("gc budgets must be >= 1")
         if self.gc_trigger_deleted < 1:
             raise ConfigError("gc_trigger_deleted must be >= 1")
+        if self.read_requests < 0:
+            raise ConfigError(
+                f"read_requests must be >= 0, got {self.read_requests}"
+            )
+        if not 0 < self.read_fraction <= 1:
+            raise ConfigError(
+                f"read_fraction must be in (0, 1], got {self.read_fraction}"
+            )
         names = set()
         for tenant in self.tenants:
             tenant.validate()
@@ -218,6 +231,8 @@ class FleetConfig:
         gc_mark_budget: int = 8,
         gc_sweep_budget: int = 4,
         gc_trigger_deleted: int = 1,
+        read_requests: int = 0,
+        read_fraction: float = 0.0625,
         seed: int = 2025,
     ) -> "FleetConfig":
         """A synthetic fleet: tenants round-robin over ``datasets``.
@@ -261,6 +276,8 @@ class FleetConfig:
             gc_mark_budget=gc_mark_budget,
             gc_sweep_budget=gc_sweep_budget,
             gc_trigger_deleted=gc_trigger_deleted,
+            read_requests=read_requests,
+            read_fraction=read_fraction,
             seed=seed,
         )
         config.validate()

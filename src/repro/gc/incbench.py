@@ -35,6 +35,7 @@ import sys
 from dataclasses import asdict
 
 from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.options import ServiceOptions
 from repro.backup.driver import RotationDriver
 from repro.backup.verify import verify_service
 from repro.config import SystemConfig
@@ -75,7 +76,9 @@ def _layout_ids(service) -> list:
 def _run_protocol(approach: str, gc_mode: str):
     config = SystemConfig.scaled(retained=10, turnover=3)
     budget = EQUIV_BUDGET if gc_mode == "incremental" else None
-    service = make_service(approach, config, gc_mode=gc_mode, gc_budget=budget)
+    service = make_service(
+        approach, config, ServiceOptions(gc_mode=gc_mode, gc_budget=budget)
+    )
     driver = RotationDriver(service, config.retention, dataset_name=EQUIV_DATASET)
     result = driver.run(
         dataset(EQUIV_DATASET, scale=EQUIV_SCALE, num_backups=EQUIV_BACKUPS)

@@ -71,6 +71,7 @@ class ColumnarRecipe:
         "_sizes",
         "_logical_size",
         "_unique_ids",
+        "_starts",
     )
 
     def __init__(
@@ -95,6 +96,7 @@ class ColumnarRecipe:
             )
         self._logical_size: int | None = None
         self._unique_ids: frozenset[int] | None = None
+        self._starts: array | None = None
 
     # ------------------------------------------------------------------
     # Columnar surface (the batched kernels read these directly)
@@ -129,6 +131,25 @@ class ColumnarRecipe:
         if size is None:
             size = self._logical_size = sum(self._sizes)
         return size
+
+    @property
+    def chunk_starts(self) -> array:
+        """Exclusive prefix sums of chunk sizes: byte offset where each
+        chunk begins in the logical stream (computed once, cached).
+
+        ``chunk_starts[i]`` is the stream offset of chunk ``i``; the read
+        serving layer bisects this column to map ``(offset, length)``
+        windows onto chunk ranges without walking the recipe.
+        """
+        starts = self._starts
+        if starts is None:
+            starts = array("q", bytes(8 * len(self._sizes)))
+            offset = 0
+            for i, size in enumerate(self._sizes):
+                starts[i] = offset
+                offset += size
+            self._starts = starts
+        return starts
 
     @property
     def num_chunks(self) -> int:

@@ -12,6 +12,7 @@ logically deleted (awaiting GC), and purged.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Iterable, Iterator, Union
@@ -42,6 +43,22 @@ class Recipe:
         frozen (non-slots) dataclass.
         """
         return sum(entry.size for entry in self.entries)
+
+    @cached_property
+    def chunk_starts(self) -> "array":
+        """Exclusive prefix sums of chunk sizes: byte offset where each
+        chunk begins in the logical stream (computed once, cached).
+
+        ``chunk_starts[i]`` is the stream offset of chunk ``i``; the read
+        serving layer bisects this column to map ``(offset, length)``
+        windows onto chunk ranges without walking the recipe.
+        """
+        starts = array("q", bytes(8 * len(self.entries)))
+        offset = 0
+        for i, entry in enumerate(self.entries):
+            starts[i] = offset
+            offset += entry.size
+        return starts
 
     @property
     def num_chunks(self) -> int:

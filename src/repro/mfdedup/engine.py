@@ -24,6 +24,7 @@ from array import array
 from repro.backup.service import BackupService, ChunkStream, ServiceStats
 from repro.config import SystemConfig
 from repro.dedup.pipeline import IngestResult
+from repro.errors import BackupAlreadyDeletedError
 from repro.gc.report import GCReport
 from repro.index.columnar import ColumnarRecipe
 from repro.index.recipe import AnyRecipe, Recipe, RecipeStore
@@ -31,6 +32,8 @@ from repro.mfdedup.volumes import VolumeStore
 from repro.model import Chunk, ChunkRef
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.restore.report import RestoreReport
+from repro.serve.cache import TieredReadCache
+from repro.serve.reader import BackupReader, MFDedupReadStrategy
 from repro.simio.disk import DiskModel
 
 
@@ -52,6 +55,7 @@ class MFDedupService(BackupService):
         columnar: bool = True,
         gc_mode: str = "stw",
         gc_budget=None,
+        read_cache_chunks: int | None = 1024,
     ):
         self.config = config or SystemConfig.scaled()
         self.config.validate()
@@ -78,6 +82,10 @@ class MFDedupService(BackupService):
         else:
             self.gc_history: list[GCReport] = []
         self.ingest_history: list[IngestResult] = []
+        # Serve-layer cache (chunk tier only — volumes have no containers);
+        # lazy so non-serving runs keep their runtime metrics untouched.
+        self._read_cache_chunks = read_cache_chunks
+        self._read_cache: TieredReadCache | None = None
 
     # ------------------------------------------------------------------
     # Ingest
@@ -286,6 +294,37 @@ class MFDedupService(BackupService):
             cache_hits=0,
         )
 
+    @property
+    def read_cache(self) -> TieredReadCache:
+        """The shared serve-layer cache (created on first use)."""
+        cache = self._read_cache
+        if cache is None:
+            cache = self._read_cache = TieredReadCache(
+                store=None, chunk_capacity=self._read_cache_chunks
+            )
+        return cache
+
+    def open_backup(self, backup_id: int) -> BackupReader:
+        """Open a live backup for random-access reads.
+
+        Point reads resolve against the lifecycle layout: chunks of one
+        backup are adjacent in its covering volumes, so each maximal run
+        of uncached chunks costs a single positioned read of the run's
+        bytes (see :class:`~repro.serve.reader.MFDedupReadStrategy`).
+        """
+        if self.recipes.is_deleted(backup_id):
+            raise BackupAlreadyDeletedError(
+                f"backup {backup_id} is deleted and cannot be opened"
+            )
+        recipe = self.recipes.get(backup_id)
+        return BackupReader(
+            backup_id=backup_id,
+            recipe=recipe,
+            strategy=MFDedupReadStrategy(self.disk, self.read_cache),
+            disk=self.disk,
+            restore=lambda: self.restore(backup_id),
+        )
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
@@ -301,7 +340,12 @@ class MFDedupService(BackupService):
         )
 
     def runtime_metrics(self) -> dict[str, int | float]:
-        return {"interner.chunks": len(self.recipes.interner)}
+        metrics: dict[str, int | float] = {
+            "interner.chunks": len(self.recipes.interner)
+        }
+        if self._read_cache is not None:
+            metrics.update(self._read_cache.counters())
+        return metrics
 
     @property
     def migrated_bytes(self) -> int:

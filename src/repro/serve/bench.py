@@ -1,0 +1,276 @@
+"""Read-serving benchmark — writes ``BENCH_serve.json``.
+
+Two claims, two measurements:
+
+1. **Read/restore equivalence** (hard gate): for every approach,
+   ``open_backup(id).read_all()`` returns *exactly* the report
+   ``service.restore(id)`` returns — same counters, same simulated
+   seconds — because ``read_all`` delegates to the restore path.  Checked
+   on twin services (same config, same protocol) so neither path sees the
+   other's cache state.
+
+2. **Point-read latency vs. backup age** (the figure): after the §6.1
+   rotation protocol, every live backup is probed with seeded point reads
+   through a cold tiered read cache.  *Age* is dedup-chain depth: the
+   newest generation has aged through the whole chain, so its chunks
+   scatter across the entire container history (the paper's fig. 12
+   fragmentation regime) and its reads pay the most seeks under naive.
+   GCCDF's piggybacked defragmentation and MFDedup's lifecycle-adjacent
+   volumes keep those aged reads fast.  With ``--gate-latency`` the
+   benchmark *requires* GCCDF and MFDedup to beat naive on the aged
+   generation's mean simulated latency (the headline claim
+   ``BENCH_serve.json`` records).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve.py \\
+        --gate-latency --out benchmarks/results/BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.driver import RotationDriver
+from repro.backup.options import ServiceOptions
+from repro.config import SystemConfig
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.workloads.datasets import dataset
+
+#: Approaches on the latency figure (the paper's restore-speed cast:
+#: no-defrag baseline, rewriting, GCCDF, and the volume-layout engine).
+FIGURE_APPROACHES = ("naive", "capping", "gccdf", "mfdedup")
+
+#: Benchmark scales: the protocol each service ages under, and the point
+#: reads issued per live backup.  ``quick`` is the CI smoke (equivalence
+#: hard, latency report-only); ``default`` is the committed figure.
+SCALES = {
+    "quick": dict(
+        dataset="web", workload_scale=0.06, num_backups=12,
+        retained=8, turnover=2, reads=6,
+    ),
+    "default": dict(
+        dataset="web", workload_scale=0.2, num_backups=30,
+        retained=20, turnover=5, reads=12,
+    ),
+}
+
+#: Equivalence-section protocol (small: it runs all seven approaches twice).
+EQUIV_DATASET = "web"
+EQUIV_SCALE = 0.05
+EQUIV_BACKUPS = 10
+EQUIV_RETAINED = 6
+EQUIV_TURNOVER = 2
+
+
+def _quantile(samples: list[float], p: float) -> float:
+    """Nearest-rank quantile over a sorted sample list."""
+    if not samples:
+        return 0.0
+    rank = max(1, -(-int(p * 1000) * len(samples) // 1000))  # ceil(p*n)
+    return samples[rank - 1]
+
+
+def _run_protocol(approach: str, params: dict, seed: int = 0):
+    config = SystemConfig.scaled(
+        retained=params["retained"], turnover=params["turnover"]
+    )
+    service = make_service(approach, config, seed=seed)
+    driver = RotationDriver(service, config.retention, dataset_name=params["dataset"])
+    driver.run(
+        dataset(
+            params["dataset"],
+            scale=params["workload_scale"],
+            num_backups=params["num_backups"],
+        )
+    )
+    return service
+
+
+def equivalence_section(progress) -> tuple[dict, bool]:
+    """Part 1: ``read_all`` ≡ ``restore``, every approach, twin services."""
+    params = dict(
+        dataset=EQUIV_DATASET, workload_scale=EQUIV_SCALE,
+        num_backups=EQUIV_BACKUPS, retained=EQUIV_RETAINED,
+        turnover=EQUIV_TURNOVER,
+    )
+    approaches = {}
+    ok = True
+    for approach in APPROACHES:
+        progress(f"equivalence: {approach}")
+        restore_service = _run_protocol(approach, params)
+        serve_service = _run_protocol(approach, params)
+        live = sorted(restore_service.live_backup_ids())
+        equal = live == sorted(serve_service.live_backup_ids())
+        for backup_id in live:
+            expected = restore_service.restore(backup_id)
+            with serve_service.open_backup(backup_id) as reader:
+                actual = reader.read_all()
+            if expected != actual:
+                equal = False
+        approaches[approach] = {"backups": len(live), "reports_equal": equal}
+        if not equal:
+            ok = False
+            progress(f"  FAIL: {approach}: read_all != restore")
+    return {
+        "dataset": EQUIV_DATASET,
+        "scale": EQUIV_SCALE,
+        "num_backups": EQUIV_BACKUPS,
+        "approaches": approaches,
+        "all_equal": ok,
+    }, ok
+
+
+def _probe_backup(service, backup_id: int, reads: int, fraction: float, seed: int):
+    """Seeded point reads against one backup through a cold cache."""
+    service.read_cache.clear()
+    samples = []
+    containers = 0
+    chunks = 0
+    with service.open_backup(backup_id) as reader:
+        length = max(1, int(reader.size * fraction))
+        for i in range(reads):
+            rng = DeterministicRng(derive_seed(seed, "serve", backup_id, i))
+            offset = rng.randint(0, max(0, reader.size - length))
+            report = reader.pread(offset, length)
+            samples.append(report.read_seconds)
+            containers += report.containers_read
+            chunks += report.num_chunks
+    return samples, containers, chunks
+
+
+def latency_section(args: argparse.Namespace, progress) -> tuple[dict, bool]:
+    """Part 2: point-read latency vs. backup age, per approach."""
+    params = dict(SCALES[args.scale])
+    reads = args.reads if args.reads is not None else params["reads"]
+    approaches: dict[str, dict] = {}
+    for approach in FIGURE_APPROACHES:
+        progress(f"latency: {approach} ({args.scale} scale)")
+        service = _run_protocol(approach, params, seed=args.seed)
+        live = sorted(service.live_backup_ids())
+        ages = []
+        # age = dedup-chain depth: the newest live backup (highest age)
+        # deduplicates against the longest history, so its chunks are the
+        # most scattered — the aged-read regime the gate probes.
+        for age, backup_id in enumerate(live):
+            samples, containers, chunks = _probe_backup(
+                service, backup_id, reads, args.read_fraction, args.seed
+            )
+            ordered = sorted(samples)
+            ages.append(
+                {
+                    "age": age,
+                    "backup_id": backup_id,
+                    "reads": len(samples),
+                    "mean": sum(samples) / len(samples),
+                    "p50": _quantile(ordered, 0.50),
+                    "p99": _quantile(ordered, 0.99),
+                    "containers_read": containers,
+                    "chunks": chunks,
+                }
+            )
+        aged = ages[-1]
+        approaches[approach] = {
+            "live_backups": len(live),
+            "ages": ages,
+            "aged_mean": aged["mean"],
+            "aged_p99": aged["p99"],
+        }
+
+    naive_aged = approaches["naive"]["aged_mean"]
+    speedups = {
+        approach: (
+            naive_aged / approaches[approach]["aged_mean"]
+            if approaches[approach]["aged_mean"]
+            else float("inf")
+        )
+        for approach in FIGURE_APPROACHES
+        if approach != "naive"
+    }
+    gate = {
+        "gccdf_beats_naive": approaches["gccdf"]["aged_mean"] < naive_aged,
+        "mfdedup_beats_naive": approaches["mfdedup"]["aged_mean"] < naive_aged,
+    }
+    ok = all(gate.values())
+    if args.gate_latency and not ok:
+        progress(f"  FAIL: aged-read latency gate: {gate}")
+    return {
+        "scale": args.scale,
+        "params": params,
+        "reads_per_backup": reads,
+        "read_fraction": args.read_fraction,
+        "approaches": approaches,
+        "aged_speedup_vs_naive": speedups,
+        "gate": gate,
+        "gate_enforced": bool(args.gate_latency),
+    }, (ok or not args.gate_latency)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Read-serving benchmark (read/restore equivalence + "
+        "point-read latency vs. backup age).",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="default",
+        help="benchmark scale (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--reads", type=int, default=None,
+        help="point reads per live backup (default: the scale's preset)",
+    )
+    parser.add_argument(
+        "--read-fraction", type=float, default=0.0625,
+        help="fraction of the backup each point read covers (default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="probe seed")
+    parser.add_argument(
+        "--gate-latency", action="store_true",
+        help="fail unless GCCDF and MFDedup beat naive on aged reads "
+        "(leave off at quick scale, where the figure is report-only)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_serve.json", help="output path (default: %(default)s)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    equivalence, equiv_ok = equivalence_section(progress)
+    latency, latency_ok = latency_section(args, progress)
+    ok = equiv_ok and latency_ok
+    payload = {
+        "equivalence": equivalence,
+        "latency": latency,
+        "gate_passed": ok,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"benchmark written to {args.out}", file=sys.stderr)
+    print(
+        json.dumps(
+            {
+                "all_equal": equivalence["all_equal"],
+                "aged_speedup_vs_naive": {
+                    name: round(value, 3)
+                    for name, value in latency["aged_speedup_vs_naive"].items()
+                },
+                "gate": latency["gate"],
+            }
+        )
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

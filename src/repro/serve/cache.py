@@ -1,0 +1,131 @@
+"""The tiered read cache behind the serving layer.
+
+Point reads have a different locality profile from sequential restores: a
+mounted backup is probed at scattered offsets, often re-touching the same
+hot chunks (file-system metadata, index blocks) while the surrounding
+containers churn.  The serving layer therefore stacks two tiers:
+
+* **container tier** — a bounded :class:`~repro.storage.cache.ContainerCache`
+  LRU in front of the store, shared across all readers of a service; the
+  I/O unit stays the whole container, so a miss charges full-container
+  read amplification exactly as a restore would;
+* **hot-chunk tier** — a small LRU of individual chunks (keyed by the
+  recipe's storage fingerprint) consulted *before* the container tier;
+  a hit serves the chunk with no device or container-cache traffic at all.
+
+Chunk-cache entries are content-addressed — a fingerprint's size and
+payload never change, even when GC migrates the chunk to a different
+container — so the chunk tier needs no invalidation hook.  The container
+tier registers with the store for deletion invalidation as usual.
+
+All six counters (`chunk`/`container` × hits/misses/evictions) surface in
+the service's ``runtime_metrics()`` under ``read_cache.*`` once the cache
+exists, and feed per-request accounting in
+:class:`~repro.serve.report.ReadReport`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+from repro.storage.cache import ContainerCache
+from repro.storage.container import Container
+from repro.storage.store import ContainerStore
+
+
+class TieredReadCache:
+    """Hot-chunk LRU in front of a container LRU in front of the store.
+
+    ``store=None`` builds a chunk-only cache (MFDedup's volume layout has
+    no containers to cache).  Either capacity may be ``None`` for an
+    unbounded tier; bounded capacities must be positive.
+    """
+
+    def __init__(
+        self,
+        store: ContainerStore | None,
+        container_capacity: int | None = 8,
+        chunk_capacity: int | None = 1024,
+    ):
+        if chunk_capacity is not None and chunk_capacity <= 0:
+            raise ConfigError("chunk cache capacity must be positive or None")
+        self.containers: ContainerCache | None = (
+            ContainerCache(store, container_capacity) if store is not None else None
+        )
+        self.chunk_capacity = chunk_capacity
+        #: fp → (size, payload-or-None); payload is kept when the container
+        #: carries bytes so ``pread_bytes`` can serve chunk-tier hits.
+        self._chunks: "OrderedDict[bytes, tuple[int, bytes | None]]" = OrderedDict()
+        self.chunk_hits = 0
+        self.chunk_misses = 0
+        self.chunk_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Hot-chunk tier
+    # ------------------------------------------------------------------
+
+    def get_chunk(self, fp: bytes) -> tuple[int, bytes | None] | None:
+        """Probe the hot-chunk tier; counts a hit or a miss either way."""
+        entry = self._chunks.get(fp)
+        if entry is not None:
+            self.chunk_hits += 1
+            if self.chunk_capacity is not None:
+                self._chunks.move_to_end(fp)
+            return entry
+        self.chunk_misses += 1
+        return None
+
+    def put_chunk(self, fp: bytes, size: int, payload: bytes | None) -> None:
+        """Insert a chunk fetched from the lower tiers, evicting LRU-first."""
+        self._chunks[fp] = (size, payload)
+        if self.chunk_capacity is not None and len(self._chunks) > self.chunk_capacity:
+            self._chunks.popitem(last=False)
+            self.chunk_evictions += 1
+
+    # ------------------------------------------------------------------
+    # Container tier
+    # ------------------------------------------------------------------
+
+    def get_container(self, container_id: int) -> Container:
+        """Fetch through the container tier (device read on a tier miss)."""
+        if self.containers is None:
+            raise ConfigError("this read cache has no container tier")
+        return self.containers.get(container_id)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def container_hits(self) -> int:
+        return self.containers.hits if self.containers is not None else 0
+
+    @property
+    def container_misses(self) -> int:
+        return self.containers.misses if self.containers is not None else 0
+
+    @property
+    def container_evictions(self) -> int:
+        return self.containers.evictions if self.containers is not None else 0
+
+    def counters(self) -> dict[str, int]:
+        """The ``read_cache.*`` counter block for ``runtime_metrics()``."""
+        return {
+            "read_cache.chunk_hits": self.chunk_hits,
+            "read_cache.chunk_misses": self.chunk_misses,
+            "read_cache.chunk_evictions": self.chunk_evictions,
+            "read_cache.container_hits": self.container_hits,
+            "read_cache.container_misses": self.container_misses,
+            "read_cache.container_evictions": self.container_evictions,
+        }
+
+    def clear(self) -> None:
+        """Drop both tiers' entries (counters are cumulative and remain)."""
+        self._chunks.clear()
+        if self.containers is not None:
+            self.containers.clear()
+
+    def __len__(self) -> int:
+        """Cached chunk count (the hot tier's population)."""
+        return len(self._chunks)

@@ -34,6 +34,7 @@ class ContainerCache:
         self._entries: "OrderedDict[int, Container]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         # Subscribe for invalidation: a cache that outlives a GC (or crash
         # recovery) must not keep serving containers the store deleted.
         store.register_cache(self)
@@ -53,6 +54,7 @@ class ContainerCache:
         self._entries[container_id] = container
         if self.capacity is not None and len(self._entries) > self.capacity:
             evicted_id, _ = self._entries.popitem(last=False)
+            self.evictions += 1
             tracer = self.store.disk.tracer
             if tracer.enabled:
                 # Evictions are the scarce, diagnostic event of a bounded

@@ -17,6 +17,13 @@ Four subcommands, usable as ``python -m repro.tools <cmd>`` or the
   (``repro faults --approach gccdf --point sweep.repoint``, or
   ``repro faults --matrix`` for every point × approach).  Also installed
   as the ``repro-faults`` console script.
+
+``repro`` is additionally the umbrella for the repo's other tools:
+``repro bench``, ``repro experiments``, ``repro fleet``, and
+``repro serve`` forward their remaining arguments to the corresponding
+tool's own parser, so one command surfaces everything.  The historical
+per-tool console scripts (``repro-bench``, ``repro-experiments``,
+``repro-fleet``, ``repro-faults``) remain as thin aliases.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.analysis.fragmentation import fragmentation_profile
 from repro.analysis.layout import ownership_histogram, render_layout
 from repro.analysis.ownership import container_purity, mean_purity, ownership_stats
 from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.options import ServiceOptions
 from repro.backup.driver import RotationDriver
 from repro.backup.verify import verify_service
 from repro.config import SystemConfig
@@ -155,7 +163,8 @@ def _fault_scenario(
 
         gc_budget = GCBudget(mark_recipes=3, sweep_containers=2, mfdedup_volumes=1)
     service = make_service(
-        approach, config, faults=plan, gc_mode=gc_mode, gc_budget=gc_budget
+        approach, config,
+        ServiceOptions(faults=plan, gc_mode=gc_mode, gc_budget=gc_budget),
     )
     driver = RotationDriver(service, config.retention, dataset_name=dataset_name)
     backups = dataset(
@@ -294,10 +303,42 @@ def build_parser() -> argparse.ArgumentParser:
         "in both stop-the-world and incremental GC modes",
     )
     faults.set_defaults(func=cmd_faults)
+
+    # Forwarded tools appear in ``repro --help`` but are dispatched by
+    # :func:`main` before argparse runs, each to its own parser.
+    for name, blurb in sorted(FORWARDED_TOOLS.items()):
+        sub.add_parser(name, help=blurb, add_help=False)
     return parser
 
 
+#: Umbrella subcommands forwarded verbatim to another tool's parser.
+FORWARDED_TOOLS = {
+    "bench": "hot-path benchmark harness (alias: repro-bench)",
+    "experiments": "paper figure/table runner (alias: repro-experiments)",
+    "fleet": "sharded multi-tenant fleet (alias: repro-fleet)",
+    "serve": "read-serving benchmark (writes BENCH_serve.json)",
+}
+
+
+def _forwarded_main(tool: str):
+    """The forwarded tool's ``main`` (imported lazily: the umbrella must
+    not drag every tool's dependency graph into ``repro trace``)."""
+    if tool == "bench":
+        from repro.bench import main as tool_main
+    elif tool == "experiments":
+        from repro.experiments.run import main as tool_main
+    elif tool == "fleet":
+        from repro.fleet.cli import main as tool_main
+    else:
+        from repro.serve.bench import main as tool_main
+    return tool_main
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in FORWARDED_TOOLS:
+        return _forwarded_main(argv[0])(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

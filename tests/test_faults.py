@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.backup.approaches import make_service
+from repro.backup.options import ServiceOptions
 from repro.backup.driver import RotationDriver
 from repro.backup.verify import verify_service
 from repro.config import SystemConfig
@@ -38,7 +39,7 @@ MATRIX_APPROACHES = ("naive", "gccdf", "mfdedup")
 def run_protocol(approach: str, faults: FaultPlan | None = None):
     """A small-but-complete rotation over ``web``; returns the service."""
     config = SystemConfig.scaled(retained=10, turnover=3)
-    service = make_service(approach, config, faults=faults)
+    service = make_service(approach, config, ServiceOptions(faults=faults))
     driver = RotationDriver(service, config.retention, dataset_name=DATASET)
     driver.run(dataset(DATASET, scale=0.1, num_backups=16))
     return service
@@ -163,7 +164,7 @@ class TestCrashRecoveryMatrix:
     def test_crash_recover_verify(self, approach, point, occurrence):
         plan = FaultPlan.single(point, occurrence=occurrence)
         config = SystemConfig.scaled(retained=10, turnover=3)
-        service = make_service(approach, config, faults=plan)
+        service = make_service(approach, config, ServiceOptions(faults=plan))
         driver = RotationDriver(service, config.retention, dataset_name=DATASET)
         with pytest.raises(SimulatedCrash):
             driver.run(dataset(DATASET, scale=0.1, num_backups=16))
@@ -184,7 +185,7 @@ class TestCrashRecoveryMatrix:
     def test_rewriting_approach_recovers_too(self):
         plan = FaultPlan.single("sweep.repoint")
         config = SystemConfig.scaled(retained=10, turnover=3)
-        service = make_service("capping", config, faults=plan)
+        service = make_service("capping", config, ServiceOptions(faults=plan))
         driver = RotationDriver(service, config.retention, dataset_name=DATASET)
         with pytest.raises(SimulatedCrash):
             driver.run(dataset(DATASET, scale=0.1, num_backups=16))
@@ -194,7 +195,7 @@ class TestCrashRecoveryMatrix:
     def test_service_recover_method_matches_function(self):
         plan = FaultPlan.single("sweep.delete")
         config = SystemConfig.scaled(retained=10, turnover=3)
-        service = make_service("gccdf", config, faults=plan)
+        service = make_service("gccdf", config, ServiceOptions(faults=plan))
         driver = RotationDriver(service, config.retention, dataset_name=DATASET)
         with pytest.raises(SimulatedCrash):
             driver.run(dataset(DATASET, scale=0.1, num_backups=16))

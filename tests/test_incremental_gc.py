@@ -26,6 +26,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.options import ServiceOptions
 from repro.backup.driver import RotationDriver
 from repro.backup.system import DedupBackupService
 from repro.backup.verify import verify_service
@@ -46,7 +47,7 @@ SMALL_BUDGET = GCBudget(mark_recipes=3, sweep_containers=2, mfdedup_volumes=1)
 def run_protocol(approach: str, gc_mode: str, budget=None, faults=None):
     config = SystemConfig.scaled(retained=10, turnover=3)
     service = make_service(
-        approach, config, gc_mode=gc_mode, gc_budget=budget, faults=faults
+        approach, config, ServiceOptions(gc_mode=gc_mode, gc_budget=budget, faults=faults)
     )
     driver = RotationDriver(service, config.retention, dataset_name=DATASET)
     result = driver.run(dataset(DATASET, scale=0.1, num_backups=16))
@@ -89,8 +90,8 @@ class TestBudget:
             GCBudget(**kwargs)
 
     def test_unknown_gc_mode_rejected(self):
-        with pytest.raises(ValueError):
-            make_service("naive", gc_mode="eager")
+        with pytest.raises(ConfigError):
+            make_service("naive", options=ServiceOptions(gc_mode="eager"))
 
 
 class TestDrainedEquivalence:
@@ -143,8 +144,8 @@ class TestCrashResume:
             plan = FaultPlan.single("gc.increment", occurrence=occurrence)
             config = SystemConfig.scaled(retained=10, turnover=3)
             service = make_service(
-                approach, config, gc_mode="incremental",
-                gc_budget=SMALL_BUDGET, faults=plan,
+                approach, config,
+                ServiceOptions(gc_mode="incremental", gc_budget=SMALL_BUDGET, faults=plan),
             )
             driver = RotationDriver(service, config.retention, dataset_name=DATASET)
             with pytest.raises(SimulatedCrash):

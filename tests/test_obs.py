@@ -19,6 +19,7 @@ import json
 import pytest
 
 from repro.backup.approaches import make_service
+from repro.backup.options import ServiceOptions
 from repro.backup.driver import RotationResult
 from repro.backup.service import ServiceStats
 from repro.experiments import clear_cache
@@ -70,7 +71,7 @@ class TestTracerBasics:
         recorder = TraceRecorder()
         assert not recorder  # the trap
         for approach in ("naive", "mfdedup"):
-            service = make_service(approach, tracer=recorder)
+            service = make_service(approach, options=ServiceOptions(tracer=recorder))
             assert service.tracer is recorder
             assert service.disk.tracer is recorder
 
