@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Hybrid-dedup benchmark — thin wrapper over :mod:`repro.gc.hybridbench`.
+
+Gates (1) drained equivalence: hybrid ingest plus GC-time coalescing ends
+every approach in exactly the inline-dedup state; (2) hard equivalence
+under a duplicated-source workload where the deferred-duplicate machinery
+demonstrably fires, in both GC modes; and (3) probe reduction: hybrid's
+ingest path performs measurably fewer index probes per chunk than inline::
+
+    PYTHONPATH=src python benchmarks/hybrid.py \\
+        --out benchmarks/results/BENCH_hybrid.json
+
+See docs/hybrid-dedup.md for how to read ``BENCH_hybrid.json``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.gc.hybridbench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

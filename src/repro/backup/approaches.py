@@ -190,6 +190,9 @@ def _build_service(
     tracer = options.tracer
     gc_kwargs = {"gc_mode": options.gc_mode, "gc_budget": options.gc_budget}
     if approach == "mfdedup":
+        # MFDedup brings its own neighbor-dedup engine; the hybrid
+        # inline/out-of-line split does not apply (dedup_mode is accepted
+        # on the options for a uniform CLI surface and ignored here).
         return MFDedupService(
             config=config,
             tracer=tracer,
@@ -197,6 +200,7 @@ def _build_service(
             read_cache_chunks=options.read_cache_chunks,
             **gc_kwargs,
         )
+    gc_kwargs["dedup_mode"] = options.dedup_mode
     serve_kwargs = {
         "read_cache_containers": options.read_cache_containers,
         "read_cache_chunks": options.read_cache_chunks,

@@ -23,6 +23,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.gc.incremental import GCBudget
     from repro.obs.tracer import Tracer
 
+#: Valid ``gc_mode`` values: stop-the-world per rotation, or budgeted
+#: incremental cycles interleaved with traffic.
+GC_MODES = ("stw", "incremental")
+
+#: Valid ``dedup_mode`` values: full inline dedup at ingest, or the
+#: hybrid inline/out-of-line mode whose deferred duplicates are coalesced
+#: by the GC cycle.
+DEDUP_MODES = ("inline", "hybrid")
+
 
 @dataclass(frozen=True)
 class ServiceOptions:
@@ -33,7 +42,11 @@ class ServiceOptions:
     a :class:`~repro.faults.FaultPlan` on the disk.  ``columnar`` selects
     the recipe representation (``None`` defers to the ``REPRO_HOTPATH``
     environment variable).  ``gc_mode``/``gc_budget`` select stop-the-world
-    versus budgeted incremental GC.  ``read_cache_containers`` /
+    versus budgeted incremental GC.  ``dedup_mode`` selects inline
+    deduplication (every chunk probes the fingerprint index at ingest)
+    versus the hybrid inline/out-of-line mode (ingest classifies with a
+    cheap neighbor/Bloom probe and GC coalesces deferred duplicates; see
+    :mod:`repro.dedup.hybrid`).  ``read_cache_containers`` /
     ``read_cache_chunks`` size the serve layer's
     :class:`~repro.serve.cache.TieredReadCache` tiers (``None`` =
     unbounded tier).
@@ -44,14 +57,20 @@ class ServiceOptions:
     columnar: bool | None = None
     gc_mode: str = "stw"
     gc_budget: "GCBudget | None" = None
+    dedup_mode: str = "inline"
     read_cache_containers: int | None = 8
     read_cache_chunks: int | None = 1024
 
     def validate(self) -> None:
         """Raise :class:`~repro.errors.ConfigError` on invalid knobs."""
-        if self.gc_mode not in ("stw", "incremental"):
+        if self.gc_mode not in GC_MODES:
             raise ConfigError(
-                f"unknown gc_mode {self.gc_mode!r}; choose 'stw' or 'incremental'"
+                f"unknown gc_mode {self.gc_mode!r}; choose one of {GC_MODES}"
+            )
+        if self.dedup_mode not in DEDUP_MODES:
+            raise ConfigError(
+                f"unknown dedup_mode {self.dedup_mode!r}; choose one of "
+                f"{DEDUP_MODES}"
             )
         for knob in ("read_cache_containers", "read_cache_chunks"):
             value = getattr(self, knob)

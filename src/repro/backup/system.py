@@ -20,11 +20,13 @@ GCCDF          none                 GCCDFMigration
 
 from __future__ import annotations
 
+from repro.backup.options import DEDUP_MODES, GC_MODES
 from repro.backup.service import BackupService, ChunkStream, ServiceStats
 from repro.config import SystemConfig
+from repro.dedup.hybrid import HybridState
 from repro.dedup.pipeline import IngestPipeline, IngestResult
 from repro.dedup.rewriting.base import RewritingPolicy
-from repro.errors import BackupAlreadyDeletedError
+from repro.errors import BackupAlreadyDeletedError, ConfigError
 from repro.gc.engine import MarkSweepGC
 from repro.gc.incremental import GCBudget, IncrementalGC
 from repro.gc.migration import MigrationStrategy
@@ -54,11 +56,18 @@ class DedupBackupService(BackupService):
         columnar: bool = True,
         gc_mode: str = "stw",
         gc_budget: GCBudget | None = None,
+        dedup_mode: str = "inline",
         read_cache_containers: int | None = 8,
         read_cache_chunks: int | None = 1024,
     ):
         self.config = config or SystemConfig.scaled()
         self.config.validate()
+        if gc_mode not in GC_MODES:
+            raise ConfigError(f"unknown gc_mode {gc_mode!r}; choose one of {GC_MODES}")
+        if dedup_mode not in DEDUP_MODES:
+            raise ConfigError(
+                f"unknown dedup_mode {dedup_mode!r}; choose one of {DEDUP_MODES}"
+            )
         self.name = name
         # Explicit None test: an empty TraceRecorder is falsy (len == 0).
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -69,6 +78,14 @@ class DedupBackupService(BackupService):
         # skips map accesses for keys that were never inserted.
         self.index = FingerprintIndex(negative_guard=True)
         self.recipes = RecipeStore()
+        # Hybrid dedup state exists only when the mode can actually take
+        # effect: it needs dedup and is bypassed by rewriting policies (the
+        # pipeline dispatch falls back to inline for those), so non-dedup
+        # services simply never defer.
+        self.dedup_mode = dedup_mode
+        self.hybrid = (
+            HybridState() if dedup_mode == "hybrid" and dedup_enabled else None
+        )
         self.pipeline = IngestPipeline(
             store=self.store,
             index=self.index,
@@ -76,6 +93,7 @@ class DedupBackupService(BackupService):
             rewriting=rewriting,
             dedup_enabled=dedup_enabled,
             columnar=columnar,
+            hybrid=self.hybrid,
         )
         self.restorer = RestoreEngine(
             store=self.store,
@@ -84,8 +102,6 @@ class DedupBackupService(BackupService):
             disk=self.disk,
             cache_containers=self.config.restore_cache_containers,
         )
-        if gc_mode not in ("stw", "incremental"):
-            raise ValueError(f"unknown gc_mode {gc_mode!r}; choose 'stw' or 'incremental'")
         self.gc_mode = gc_mode
         gc_cls = IncrementalGC if gc_mode == "incremental" else MarkSweepGC
         gc_kwargs = {"budget": gc_budget} if gc_mode == "incremental" else {}
@@ -96,6 +112,7 @@ class DedupBackupService(BackupService):
             recipes=self.recipes,
             disk=self.disk,
             migration=migration,
+            hybrid=self.hybrid,
             **gc_kwargs,
         )
         self._cumulative_logical = 0
@@ -144,7 +161,7 @@ class DedupBackupService(BackupService):
         :class:`~repro.faults.RecoveryReport`."""
         from repro.faults.recovery import recover
 
-        return recover(self.store, self.index, self.recipes)
+        return recover(self.store, self.index, self.recipes, hybrid=self.hybrid)
 
     @property
     def read_cache(self) -> TieredReadCache:
@@ -196,6 +213,8 @@ class DedupBackupService(BackupService):
             metrics["index.guard_probes"] = index.guard_probes
             metrics["index.guard_skips"] = index.guard_skips
             metrics["index.guard_skip_rate"] = index.guard_skip_rate
+        if self.hybrid is not None:
+            metrics.update(self.hybrid.counters())
         if self._read_cache is not None:
             metrics.update(self._read_cache.counters())
         return metrics

@@ -37,6 +37,7 @@ from array import array
 from dataclasses import asdict, dataclass
 from typing import Iterable, Union
 
+from repro.dedup.hybrid import HybridState
 from repro.dedup.logical_index import LogicalIndex
 from repro.dedup.rewriting.base import IngestEntry, NullRewriting, RewritingPolicy
 from repro.index.columnar import ColumnarRecipe
@@ -83,6 +84,7 @@ class IngestPipeline:
         rewriting: RewritingPolicy | None = None,
         dedup_enabled: bool = True,
         columnar: bool = True,
+        hybrid: HybridState | None = None,
     ):
         self.store = store
         self.index = index
@@ -90,6 +92,7 @@ class IngestPipeline:
         self.rewriting = rewriting or NullRewriting()
         self.dedup_enabled = dedup_enabled
         self.columnar = columnar
+        self.hybrid = hybrid
         self.logical = LogicalIndex(index)
 
     def ingest(
@@ -98,6 +101,17 @@ class IngestPipeline:
         source: str = "",
     ) -> IngestResult:
         """Deduplicate and store one backup; returns its accounting."""
+        if (
+            self.hybrid is not None
+            and self.dedup_enabled
+            and type(self.rewriting) is NullRewriting
+        ):
+            # Hybrid classification only applies to decision-free streams:
+            # rewriting policies need the full inline duplicate verdict per
+            # chunk, so policy-bearing services fall back to inline dedup.
+            if self.columnar:
+                return self._ingest_hybrid_batched(stream, source)
+            return self._ingest_hybrid_legacy(stream, source)
         if self.columnar:
             # The fused kernel assumes the policy is a decision-free
             # pass-through (exact type check: subclasses may override hooks).
@@ -436,6 +450,281 @@ class IngestPipeline:
             backup_id=backup_id,
             logical_bytes=logical_bytes,
             num_chunks=len(ids),
+            stored_bytes=stored_bytes,
+            dedup_bytes=dedup_bytes,
+            rewritten_bytes=0,
+            containers_written=len(containers),
+        )
+
+    # ------------------------------------------------------------------
+    # Hybrid inline/out-of-line path: neighbor/filter classification,
+    # deferred duplicates coalesced later by GC (repro.dedup.hybrid)
+    # ------------------------------------------------------------------
+
+    def _ingest_hybrid_batched(
+        self, stream: Iterable[Union[Chunk, ChunkRef]], source: str
+    ) -> IngestResult:
+        """Fused hybrid kernel for columnar ``NullRewriting`` streams.
+
+        Per chunk: probe the per-source neighbor window (this stream's own
+        entries, then the previous backup of the same source); a neighbor
+        hit dedups inline after one index ``validate`` probe.  A neighbor
+        miss consults only the ingest Bloom filter: "never seen" stores a
+        definitely-new chunk, "maybe seen" stores a fresh copy *and*
+        records it as a deferred-duplicate candidate for GC to coalesce.
+        The full fingerprint index is never probed on the miss path —
+        that is the fast-path saving the mode exists for.  The logical
+        index's ``lookups`` counter is untouched by design: no logical
+        probe happens.
+        """
+        hybrid = self.hybrid
+        assert hybrid is not None
+        backup_id = self.recipes.new_backup_id()
+        self.rewriting.begin_backup(backup_id)
+        writer = ContainerWriter(self.store)
+
+        ids = array("q")
+        sizes = array("q")
+        ids_append = ids.append
+        sizes_append = sizes.append
+        intern = self.recipes.interner.intern
+
+        index = self.index
+        logical = self.logical
+        placements_get = index.placements_map().get
+        new_key = logical.new_key
+        insert = index.insert
+        writer_append = writer.append
+        chunk_type = Chunk
+
+        hybrid.maybe_rebuild_filter(logical.current_map())
+        filter_contains = hybrid.filter.__contains__
+        filter_add = hybrid.filter.add
+        prev = hybrid.neighbors.get(source, {})
+        prev_get = prev.get
+        cur: dict[bytes, bytes] = {}
+        cur_get = cur.get
+        candidates = hybrid.candidates
+        candidates_get = candidates.get
+
+        logical_bytes = 0
+        stored_bytes = 0
+        dedup_bytes = 0
+        # Probe/classification statistics, flushed in bulk after the loop.
+        phys_probes = 0
+        phys_hits = 0
+        neighbor_hits = 0
+        neighbor_stale = 0
+        filter_new = 0
+        filter_maybe = 0
+        deferred = 0
+        filter_adds = 0
+
+        with self.store.disk.phase("ingest") as ph:
+            for item in stream:
+                if isinstance(item, chunk_type):
+                    fp, size, payload = item.fp, item.size, item.data
+                else:
+                    fp, size, payload = item.fp, item.size, None
+                logical_bytes += size
+                key = cur_get(fp)
+                if key is None:
+                    key = prev_get(fp)
+                if key is not None:
+                    phys_probes += 1
+                    if placements_get(key) is not None:
+                        # Neighbor hit on a live copy: inline dedup.
+                        phys_hits += 1
+                        neighbor_hits += 1
+                        ids_append(intern(key))
+                        sizes_append(size)
+                        dedup_bytes += size
+                        cur[fp] = key
+                        refs = candidates_get(key)
+                        if refs is not None:
+                            refs.add(backup_id)
+                        continue
+                    # The neighbor copy was reclaimed (or coalesced away):
+                    # drop the stale entry and classify from scratch.
+                    neighbor_stale += 1
+                    prev.pop(fp, None)
+                    cur.pop(fp, None)
+                # Neighbor miss: Bloom-only classification — the full
+                # index is not probed.  Either way the chunk is stored.
+                maybe_seen = filter_contains(fp)
+                key = new_key(fp)
+                container_id = writer_append(ChunkRef(fp=key, size=size), payload)
+                insert(key, container_id, size)
+                ids_append(intern(key))
+                sizes_append(size)
+                stored_bytes += size
+                cur[fp] = key
+                filter_add(fp)
+                filter_adds += 1
+                if maybe_seen:
+                    filter_maybe += 1
+                    candidates[key] = {backup_id}
+                    deferred += 1
+                else:
+                    filter_new += 1
+
+            containers = writer.flush()
+            self.rewriting.end_backup()
+            ph.annotate(
+                backup_id=backup_id,
+                logical_bytes=logical_bytes,
+                stored_bytes=stored_bytes,
+                dedup_bytes=dedup_bytes,
+                rewritten_bytes=0,
+                containers_written=len(containers),
+                deferred=deferred,
+            )
+
+        index.lookups += phys_probes
+        index.hits += phys_hits
+        hybrid.neighbor_hits += neighbor_hits
+        hybrid.neighbor_stale += neighbor_stale
+        hybrid.filter_new += filter_new
+        hybrid.filter_maybe += filter_maybe
+        hybrid.deferred += deferred
+        hybrid.filter_adds += filter_adds
+        # Advance the window: the next backup of this source dedups
+        # against exactly this backup's fp → key map.
+        hybrid.neighbors[source] = cur
+
+        recipe = ColumnarRecipe(
+            backup_id=backup_id,
+            interner=self.recipes.interner,
+            chunk_ids=ids,
+            chunk_sizes=sizes,
+            source=source,
+        )
+        self.recipes.add(recipe)
+        return IngestResult(
+            backup_id=backup_id,
+            logical_bytes=logical_bytes,
+            num_chunks=len(ids),
+            stored_bytes=stored_bytes,
+            dedup_bytes=dedup_bytes,
+            rewritten_bytes=0,
+            containers_written=len(containers),
+        )
+
+    def _ingest_hybrid_legacy(
+        self, stream: Iterable[Union[Chunk, ChunkRef]], source: str
+    ) -> IngestResult:
+        """Hybrid classification onto a legacy tuple recipe — the same
+        probe order, classification verdicts, write order, and counters as
+        :meth:`_ingest_hybrid_batched`, so the two representations stay
+        A/B-identical in hybrid mode too."""
+        hybrid = self.hybrid
+        assert hybrid is not None
+        backup_id = self.recipes.new_backup_id()
+        self.rewriting.begin_backup(backup_id)
+        writer = ContainerWriter(self.store)
+
+        index = self.index
+        logical = self.logical
+        placements_get = index.placements_map().get
+        new_key = logical.new_key
+        insert = index.insert
+        writer_append = writer.append
+        chunk_type = Chunk
+
+        hybrid.maybe_rebuild_filter(logical.current_map())
+        filter_contains = hybrid.filter.__contains__
+        filter_add = hybrid.filter.add
+        prev = hybrid.neighbors.get(source, {})
+        prev_get = prev.get
+        cur: dict[bytes, bytes] = {}
+        cur_get = cur.get
+        candidates = hybrid.candidates
+        candidates_get = candidates.get
+
+        recipe_keys: list[ChunkRef] = []
+        recipe_append = recipe_keys.append
+        logical_bytes = 0
+        stored_bytes = 0
+        dedup_bytes = 0
+        phys_probes = 0
+        phys_hits = 0
+        neighbor_hits = 0
+        neighbor_stale = 0
+        filter_new = 0
+        filter_maybe = 0
+        deferred = 0
+        filter_adds = 0
+
+        with self.store.disk.phase("ingest") as ph:
+            for item in stream:
+                if isinstance(item, chunk_type):
+                    fp, size, payload = item.fp, item.size, item.data
+                else:
+                    fp, size, payload = item.fp, item.size, None
+                logical_bytes += size
+                key = cur_get(fp)
+                if key is None:
+                    key = prev_get(fp)
+                if key is not None:
+                    phys_probes += 1
+                    if placements_get(key) is not None:
+                        phys_hits += 1
+                        neighbor_hits += 1
+                        recipe_append(ChunkRef(fp=key, size=size))
+                        dedup_bytes += size
+                        cur[fp] = key
+                        refs = candidates_get(key)
+                        if refs is not None:
+                            refs.add(backup_id)
+                        continue
+                    neighbor_stale += 1
+                    prev.pop(fp, None)
+                    cur.pop(fp, None)
+                maybe_seen = filter_contains(fp)
+                key = new_key(fp)
+                ref = ChunkRef(fp=key, size=size)
+                container_id = writer_append(ref, payload)
+                insert(key, container_id, size)
+                recipe_append(ref)
+                stored_bytes += size
+                cur[fp] = key
+                filter_add(fp)
+                filter_adds += 1
+                if maybe_seen:
+                    filter_maybe += 1
+                    candidates[key] = {backup_id}
+                    deferred += 1
+                else:
+                    filter_new += 1
+
+            containers = writer.flush()
+            self.rewriting.end_backup()
+            ph.annotate(
+                backup_id=backup_id,
+                logical_bytes=logical_bytes,
+                stored_bytes=stored_bytes,
+                dedup_bytes=dedup_bytes,
+                rewritten_bytes=0,
+                containers_written=len(containers),
+                deferred=deferred,
+            )
+
+        index.lookups += phys_probes
+        index.hits += phys_hits
+        hybrid.neighbor_hits += neighbor_hits
+        hybrid.neighbor_stale += neighbor_stale
+        hybrid.filter_new += filter_new
+        hybrid.filter_maybe += filter_maybe
+        hybrid.deferred += deferred
+        hybrid.filter_adds += filter_adds
+        hybrid.neighbors[source] = cur
+
+        recipe = Recipe(backup_id=backup_id, entries=tuple(recipe_keys), source=source)
+        self.recipes.add(recipe)
+        return IngestResult(
+            backup_id=backup_id,
+            logical_bytes=logical_bytes,
+            num_chunks=len(recipe_keys),
             stored_bytes=stored_bytes,
             dedup_bytes=dedup_bytes,
             rewritten_bytes=0,

@@ -42,6 +42,9 @@ CRASH_POINTS = (
     "mfdedup.reorg",
     # Boundary between two budgeted increments of an incremental GC cycle.
     "gc.increment",
+    # Hybrid rededup: recipes repointed at the canonical copy, duplicate
+    # key not yet dropped from the index (the intent rolls forward).
+    "gc.rededup",
 )
 
 #: Crash points reachable by the shared container-based GC protocol.
@@ -54,13 +57,20 @@ CONTAINER_POINTS = (
 )
 
 #: Crash points reachable per approach name (``make_service`` spelling).
-def points_for(approach: str, gc_mode: str = "stw") -> tuple[str, ...]:
+def points_for(
+    approach: str, gc_mode: str = "stw", dedup_mode: str = "inline"
+) -> tuple[str, ...]:
     """The crash points an approach's data path can actually reach.
 
     ``gc_mode="incremental"`` adds the ``gc.increment`` boundary point; the
     copy-forward seal/reclaim protocol and every other point are unchanged
     (incremental cycles journal one ``gc.cycle`` intent instead of per-round
     ``sweep`` intents, but ``gc.purge`` still guards the final purge).
+
+    ``dedup_mode="hybrid"`` adds the ``gc.rededup`` coalesce point for the
+    approaches whose pipeline actually takes the hybrid path — naive and
+    gccdf (rewriting policies and MFDedup fall back to their inline
+    engines, and nondedup never defers).
     """
     if approach == "mfdedup":
         base = ("mfdedup.migrate", "mfdedup.reorg")
@@ -68,6 +78,8 @@ def points_for(approach: str, gc_mode: str = "stw") -> tuple[str, ...]:
         base = CONTAINER_POINTS + ("gccdf.segment",)
     else:
         base = CONTAINER_POINTS
+    if dedup_mode == "hybrid" and approach in ("naive", "gccdf"):
+        base = base + ("gc.rededup",)
     if gc_mode == "incremental":
         return base + ("gc.increment",)
     return base

@@ -18,6 +18,11 @@ reclaim            any        **roll forward** — re-drop the invalid keys
                               (idempotent) and delete the container; its
                               valid chunks were durably repointed before the
                               reclaim intent began
+rededup            any        **roll forward** — finish repointing every
+                              referencing recipe at the canonical copy
+                              (idempotent), drop the duplicate key, and
+                              restore the hybrid bookkeeping (candidate
+                              removed, container queued for the sweep)
 sweep              open       **roll back** — abort the round; deleted
                               recipes remain and the next GC re-collects
 sweep              committed  **roll forward** — purge deleted recipes
@@ -138,8 +143,13 @@ def _emit(disk, action: RecoveryAction) -> None:
         )
 
 
-def recover(store, index, recipes) -> RecoveryReport:
+def recover(store, index, recipes, hybrid=None) -> RecoveryReport:
     """Repair a container-based system (store + fingerprint index + recipes).
+
+    ``hybrid`` is the service's :class:`~repro.dedup.hybrid.HybridState`
+    when it runs in hybrid dedup mode — a replayed ``rededup`` intent must
+    also restore the out-of-line bookkeeping (candidate set, pending-sweep
+    queue, neighbor maps) that the interrupted slice would have updated.
 
     Safe to call on a healthy system: with an empty journal it is a no-op
     (and charges no simulated I/O either way — repairs only rewrite
@@ -210,6 +220,46 @@ def recover(store, index, recipes) -> RecoveryReport:
             index.discard(fp)
         report.index_keys_fixed += len(dangling)
 
+        # 3¾. Hybrid rededup slices roll forward: the ``gc.rededup`` crash
+        #     point fires after the recipe repoints but before the index
+        #     drop, and repointing is idempotent (a recipe that no longer
+        #     references the duplicate is untouched) — so replaying the
+        #     whole slice is always safe.  Each replayed (dup → canonical)
+        #     swap is also applied to any open incremental cycle's
+        #     live-reference barrier below: a mid-cycle ingest may have
+        #     put the duplicate key under barrier protection, which must
+        #     follow the repoint or the sweep reclaims the canonical copy.
+        rededup_swaps = []
+        if journal.records("rededup"):
+            from repro.dedup.hybrid import repoint_recipe
+            from repro.dedup.keys import logical_fp
+
+            for rec in journal.records("rededup"):
+                dup = rec.payload["dup"]
+                canonical = rec.payload["canonical"]
+                repointed = 0
+                for backup_id in rec.payload["backups"]:
+                    if repoint_recipe(recipes, backup_id, dup, canonical):
+                        repointed += 1
+                index.discard(dup)
+                rededup_swaps.append((dup, canonical))
+                container_id = rec.payload["container_id"]
+                if hybrid is not None:
+                    hybrid.candidates.pop(dup, None)
+                    if container_id in store:
+                        hybrid.pending_sweep.add(container_id)
+                    fp = logical_fp(dup)
+                    for neighbor_map in hybrid.neighbors.values():
+                        if neighbor_map.get(fp) == dup:
+                            neighbor_map[fp] = canonical
+                    hybrid.coalesced += 1
+                report.index_keys_fixed += 1
+                report.record(
+                    journal, rec, "replay",
+                    dup=dup.hex(), canonical=canonical.hex(), repointed=repointed,
+                )
+                _emit(disk, report.actions[-1])
+
         # 4. The sweep round itself: open → aborted round (deleted recipes
         #    remain for the next GC); committed → finish the recipe purge.
         for rec in journal.open_records("sweep"):
@@ -239,6 +289,13 @@ def recover(store, index, recipes) -> RecoveryReport:
             _emit(disk, report.actions[-1])
         for rec in journal.open_records("gc.cycle"):
             state = rec.payload["state"]
+            # Replayed rededup slices retarget barrier protection from the
+            # coalesced duplicate key to its canonical copy (the crashed
+            # slice would have done this itself; see rededup_slice).
+            for dup, canonical in rededup_swaps:
+                if dup in state.barrier_keys:
+                    state.barrier_keys.discard(dup)
+                    state.barrier_keys.add(canonical)
             # Moves whose repoint did not survive the crash (their
             # destination was rolled back above) must be re-migrated.
             stale_moves = [
@@ -357,4 +414,9 @@ def recover_service(service) -> RecoveryReport:
     """
     if hasattr(service, "volumes"):
         return recover_mfdedup(service.volumes, service.recipes)
-    return recover(service.store, service.index, service.recipes)
+    return recover(
+        service.store,
+        service.index,
+        service.recipes,
+        hybrid=getattr(service, "hybrid", None),
+    )

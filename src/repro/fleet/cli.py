@@ -85,6 +85,7 @@ def build_config(args: argparse.Namespace) -> FleetConfig:
         approach=args.approach,
         dedup_domain=args.domain,
         gc_mode=args.gc_mode,
+        dedup_mode=args.dedup_mode,
         gc_step_period=args.gc_step_period,
         gc_mark_budget=args.gc_mark_budget,
         gc_sweep_budget=args.gc_sweep_budget,
@@ -169,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--gc-mode", choices=("stw", "incremental"), default="stw",
         help="GC execution mode: stop-the-world epochs or budgeted "
         "increments interleaved with foreground traffic (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--dedup-mode", choices=("inline", "hybrid"), default="inline",
+        help="dedup mode: inline full-index probes, or hybrid "
+        "neighbor/Bloom classification with GC-time coalescing "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--gc-step-period", type=float, default=0.25,

@@ -46,6 +46,7 @@ def plan_shards(config: FleetConfig, trace: bool = False) -> list[ShardTask]:
             seed=config.seed,
             trace=trace,
             gc_mode=config.gc_mode,
+            dedup_mode=config.dedup_mode,
             gc_step_period=config.gc_step_period,
             gc_mark_budget=config.gc_mark_budget,
             gc_sweep_budget=config.gc_sweep_budget,

@@ -56,6 +56,7 @@ class ShardTask:
     seed: int
     trace: bool = False
     gc_mode: str = "stw"
+    dedup_mode: str = "inline"
     gc_step_period: float = 0.25
     gc_mark_budget: int = 8
     gc_sweep_budget: int = 4
@@ -89,7 +90,11 @@ class _ShardExecutor:
         self.build = service_factory(
             task.approach,
             self.config,
-            ServiceOptions(gc_mode=task.gc_mode, gc_budget=gc_budget),
+            ServiceOptions(
+                gc_mode=task.gc_mode,
+                gc_budget=gc_budget,
+                dedup_mode=task.dedup_mode,
+            ),
         )
         #: service key → service; ``"@shard"`` in the shared domain, the
         #: tenant name in the tenant domain.  Built eagerly in declaration

@@ -34,6 +34,7 @@ from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.backup.approaches import APPROACHES
+from repro.backup.options import DEDUP_MODES, GC_MODES
 from repro.errors import ConfigError
 from repro.util.rng import derive_seed
 from repro.workloads.datasets import DATASET_NAMES, DEFAULT_SEED
@@ -123,6 +124,11 @@ class FleetConfig:
     #: :class:`~repro.gc.incremental.IncrementalGC` cycle at the epoch and
     #: advances it through interleaved ``gc_step`` requests.
     gc_mode: str = "stw"
+    #: Dedup mode of every shard's services: ``"inline"`` probes the full
+    #: fingerprint index per chunk; ``"hybrid"`` defers neighbor-missed
+    #: duplicates and coalesces them during GC (see
+    #: :mod:`repro.dedup.hybrid`).
+    dedup_mode: str = "inline"
     #: Simulated time between ``gc_step`` requests (incremental mode only).
     gc_step_period: float = 0.25
     #: Per-increment budgets (incremental mode only): recipes marked per
@@ -164,9 +170,14 @@ class FleetConfig:
             raise ConfigError("cannot turn over more backups than are retained")
         if self.backup_period <= 0 or self.gc_period <= 0:
             raise ConfigError("backup_period and gc_period must be positive")
-        if self.gc_mode not in ("stw", "incremental"):
+        if self.gc_mode not in GC_MODES:
             raise ConfigError(
-                f"unknown gc_mode {self.gc_mode!r}; choose 'stw' or 'incremental'"
+                f"unknown gc_mode {self.gc_mode!r}; choose one of {GC_MODES}"
+            )
+        if self.dedup_mode not in DEDUP_MODES:
+            raise ConfigError(
+                f"unknown dedup_mode {self.dedup_mode!r}; choose one of "
+                f"{DEDUP_MODES}"
             )
         if self.gc_step_period <= 0:
             raise ConfigError("gc_step_period must be positive")
@@ -227,6 +238,7 @@ class FleetConfig:
         backup_period: float = 1.0,
         gc_period: float = 4.0,
         gc_mode: str = "stw",
+        dedup_mode: str = "inline",
         gc_step_period: float = 0.25,
         gc_mark_budget: int = 8,
         gc_sweep_budget: int = 4,
@@ -272,6 +284,7 @@ class FleetConfig:
             backup_period=backup_period,
             gc_period=gc_period,
             gc_mode=gc_mode,
+            dedup_mode=dedup_mode,
             gc_step_period=gc_step_period,
             gc_mark_budget=gc_mark_budget,
             gc_sweep_budget=gc_sweep_budget,

@@ -10,6 +10,7 @@ defragmentation piggybacks on the migration GC already performs).
 from __future__ import annotations
 
 from repro.config import SystemConfig
+from repro.dedup.hybrid import HybridState, forced_containers, run_rededup
 from repro.gc.mark import MarkStage
 from repro.gc.migration import MigrationStrategy, NaiveMigration, SweepContext
 from repro.gc.report import GCReport
@@ -30,6 +31,7 @@ class MarkSweepGC:
         recipes: RecipeStore,
         disk: DiskModel,
         migration: MigrationStrategy | None = None,
+        hybrid: HybridState | None = None,
     ):
         self.config = config
         self.store = store
@@ -37,6 +39,7 @@ class MarkSweepGC:
         self.recipes = recipes
         self.disk = disk
         self.migration = migration or NaiveMigration()
+        self.hybrid = hybrid
         self._rounds = 0
         self.history: list[GCReport] = []
 
@@ -48,10 +51,28 @@ class MarkSweepGC:
         committed before the recipe purge, closed after it.  A crash with
         the intent open aborts the round (deleted recipes remain for the
         next GC); committed, recovery finishes the purge.
+
+        In hybrid dedup mode the round opens with the rededup pass
+        (:func:`~repro.dedup.hybrid.run_rededup`): deferred duplicates are
+        coalesced under their own journaled intents, and the containers
+        that held the duplicate copies are force-fed into the mark's GS
+        list so this round's sweep reclaims their bytes.
         """
         tracer = self.disk.tracer
         round_intent = self.store.journal.begin("sweep", round_index=self._rounds)
-        mark_stage = MarkStage(self.config, self.index, self.recipes, self.disk)
+        extra_gs: frozenset[int] | set[int] = frozenset()
+        if self.hybrid is not None:
+            run_rededup(
+                self.hybrid,
+                index=self.index,
+                recipes=self.recipes,
+                journal=self.store.journal,
+                disk=self.disk,
+            )
+            extra_gs = forced_containers(self.hybrid, self.store)
+        mark_stage = MarkStage(
+            self.config, self.index, self.recipes, self.disk, extra_gs=extra_gs
+        )
         mark = mark_stage.run()
 
         ctx = SweepContext(

@@ -1,0 +1,408 @@
+"""Hybrid-dedup benchmark — writes ``BENCH_hybrid.json``.
+
+Three claims, three measurements:
+
+1. **Drained equivalence** (hard gate, every approach): running the §6.1
+   rotation protocol with ``dedup_mode="hybrid"`` and then draining the
+   deferred-duplicate backlog through GC produces a system equivalent to
+   inline dedup — same live backups, same per-backup logical chunk
+   streams, same physical bytes, verifier clean, zero pending candidates.
+   Approaches whose pipeline falls back to inline (rewriting policies,
+   MFDedup, nondedup) must be *trivially* identical; naive and gccdf must
+   converge after coalescing.
+
+2. **Hard equivalence under real deferral** (hard gate): a
+   duplicated-source workload — every backup replayed under two source
+   names, the fleet's shared-domain cross-tenant shape — forces a large
+   deferred population (hybrid ingest only sees its own source's neighbor
+   window).  For naive and gccdf, in both GC modes, the drained hybrid
+   system must match inline exactly, and the run must actually exercise
+   the machinery (``deferred > 0`` and ``coalesced > 0``).
+
+3. **Probe reduction** (hard gate): over an ingest-only phase at medium
+   scale, hybrid must perform measurably fewer dedup-path index probes
+   per chunk than inline (inline pays ``1 + dup_fraction`` probes per
+   chunk; hybrid pays roughly the neighbor-hit fraction).  GC-side
+   rededup probes are reported separately — they ride the GC cycle, not
+   the ingest path.
+
+The convergence series (per-rotation physical bytes before/after GC and
+the pending backlog) is recorded for plotting but gated only on its final
+point (covered by claim 2).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/hybrid.py \\
+        --out benchmarks/results/BENCH_hybrid.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.backup.approaches import APPROACHES, make_service
+from repro.backup.driver import BackupSpec, RotationDriver
+from repro.backup.options import ServiceOptions
+from repro.backup.verify import verify_service
+from repro.config import SystemConfig
+from repro.dedup.keys import KEY_SIZE, logical_fp
+from repro.gc.incremental import GCBudget
+from repro.workloads.datasets import dataset
+
+#: Workload for the all-approach equivalence run (same as the incremental
+#: GC gate: ``web`` shares chunks across consecutive backups).
+EQUIV_DATASET = "web"
+EQUIV_SCALE = 0.1
+EQUIV_BACKUPS = 16
+
+#: The duplicated-source runs use a smaller slice — every backup is
+#: ingested twice, and the point is deferral volume, not byte volume.
+HARD_SCALE = 0.05
+HARD_BACKUPS = 12
+
+#: Small budget so drained incremental cycles take many increments.
+HARD_BUDGET = GCBudget(mark_recipes=3, sweep_containers=2, rededup_keys=3)
+
+#: Extra GC rounds allowed to drain the deferred backlog after the
+#: protocol ends (idle candidates need one sweep plus one drop round).
+MAX_DRAIN_ROUNDS = 4
+
+
+def _duplicated(backups) -> list[BackupSpec]:
+    """Each backup under two source names — see ``repro.tools``'s fault
+    CLI helper: the mirrored copy neighbor-misses everything and becomes
+    the deferred-duplicate population."""
+    out: list[BackupSpec] = []
+    for spec in backups:
+        out.append(BackupSpec(source=f"{spec.source}#a", chunks=spec.chunks))
+        out.append(BackupSpec(source=f"{spec.source}#b", chunks=spec.chunks))
+    return out
+
+
+def _live_streams(service) -> dict:
+    """Per-live-backup logical chunk stream: ``[(logical fp, size), …]``.
+
+    Storage-key generations are an implementation detail of hybrid mode
+    (a coalesced system may legitimately settle on different generation
+    numbers than inline ever minted), so equivalence is defined over the
+    20-byte logical fingerprints.  MFDedup recipes carry raw 20-byte
+    fingerprints rather than generational storage keys; those pass
+    through unchanged.
+    """
+
+    def fp_of(entry) -> str:
+        fp = entry.fp
+        return (logical_fp(fp) if len(fp) == KEY_SIZE else fp).hex()
+
+    return {
+        backup_id: [
+            (fp_of(entry), entry.size)
+            for entry in service.recipes.get(backup_id).entries
+        ]
+        for backup_id in service.live_backup_ids()
+    }
+
+
+def _live_ratio(service) -> float:
+    """Live dedup ratio: retained logical bytes over physical bytes.
+
+    The cumulative :attr:`ServiceStats.dedup_ratio` intentionally differs
+    between modes (hybrid stores deferred duplicates before coalescing
+    them), so convergence is measured on the *live* ratio, which both
+    modes must agree on once drained.
+    """
+    live_logical = sum(
+        service.recipes.get(backup_id).logical_size
+        for backup_id in service.live_backup_ids()
+    )
+    physical = service.stats().physical_bytes
+    return live_logical / physical if physical else 0.0
+
+
+def _pending(service) -> int:
+    hybrid = getattr(service, "hybrid", None)
+    return len(hybrid.candidates) if hybrid is not None else 0
+
+
+def _drain(service) -> int:
+    """Run extra GC rounds until no deferred candidates remain."""
+    rounds = 0
+    while _pending(service) and rounds < MAX_DRAIN_ROUNDS:
+        service.run_gc()
+        rounds += 1
+    return rounds
+
+
+def _compare(inline_service, hybrid_service) -> dict:
+    return {
+        "live_ids_equal": (
+            inline_service.live_backup_ids() == hybrid_service.live_backup_ids()
+        ),
+        "streams_equal": (
+            _live_streams(inline_service) == _live_streams(hybrid_service)
+        ),
+        "physical_bytes_equal": (
+            inline_service.stats().physical_bytes
+            == hybrid_service.stats().physical_bytes
+        ),
+        "verifier_clean": (
+            verify_service(inline_service).errors == []
+            and verify_service(hybrid_service).errors == []
+        ),
+        "pending_zero": _pending(hybrid_service) == 0,
+    }
+
+
+def _run_protocol(approach: str, dedup_mode: str):
+    config = SystemConfig.scaled(retained=10, turnover=3)
+    service = make_service(approach, config, ServiceOptions(dedup_mode=dedup_mode))
+    driver = RotationDriver(service, config.retention, dataset_name=EQUIV_DATASET)
+    driver.run(dataset(EQUIV_DATASET, scale=EQUIV_SCALE, num_backups=EQUIV_BACKUPS))
+    return service
+
+
+def equivalence_section(progress) -> tuple[dict, bool]:
+    """Part 1: drained hybrid vs inline, every approach, standard protocol."""
+    approaches = {}
+    ok = True
+    for approach in APPROACHES:
+        progress(f"equivalence: {approach}")
+        inline_service = _run_protocol(approach, "inline")
+        hybrid_service = _run_protocol(approach, "hybrid")
+        drain_rounds = _drain(hybrid_service)
+        checks = _compare(inline_service, hybrid_service)
+        metrics = hybrid_service.runtime_metrics()
+        approaches[approach] = {
+            **checks,
+            "drain_rounds": drain_rounds,
+            "deferred": metrics.get("hybrid.deferred", 0),
+            "coalesced": metrics.get("hybrid.coalesced", 0),
+        }
+        if not all(checks.values()):
+            ok = False
+            progress(f"  FAIL: {approach}: {approaches[approach]}")
+    return {
+        "dataset": EQUIV_DATASET,
+        "scale": EQUIV_SCALE,
+        "num_backups": EQUIV_BACKUPS,
+        "approaches": approaches,
+        "all_equivalent": ok,
+    }, ok
+
+
+def _rotation_loop(approach: str, dedup_mode: str, gc_mode: str, record=None):
+    """Manual rotation over the duplicated-source workload.
+
+    ``record(rotation, service, stage)`` is called around each GC so the
+    convergence section can sample physical bytes pre/post coalescing.
+    """
+    config = SystemConfig.scaled(retained=8, turnover=4)
+    budget = HARD_BUDGET if gc_mode == "incremental" else None
+    service = make_service(
+        approach,
+        config,
+        ServiceOptions(dedup_mode=dedup_mode, gc_mode=gc_mode, gc_budget=budget),
+    )
+    backups = _duplicated(
+        dataset(EQUIV_DATASET, scale=HARD_SCALE, num_backups=HARD_BACKUPS)
+    )
+    rotation = 0
+    for start in range(0, len(backups), 4):
+        for spec in backups[start : start + 4]:
+            service.ingest(spec.chunks, source=spec.source)
+        live = service.live_backup_ids()
+        if len(live) > 8:
+            for backup_id in live[:4]:
+                service.delete_backup(backup_id)
+        if record is not None:
+            record(rotation, service, "pre_gc")
+        service.run_gc()
+        if record is not None:
+            record(rotation, service, "post_gc")
+        rotation += 1
+    _drain(service)
+    return service
+
+
+def hard_equivalence_section(progress) -> tuple[dict, bool]:
+    """Part 2: duplicated-source equivalence for the hybrid-path approaches."""
+    runs = {}
+    ok = True
+    for approach in ("naive", "gccdf"):
+        inline_service = _rotation_loop(approach, "inline", "stw")
+        for gc_mode in ("stw", "incremental"):
+            progress(f"hard equivalence: {approach} / {gc_mode}")
+            hybrid_service = _rotation_loop(approach, "hybrid", gc_mode)
+            checks = _compare(inline_service, hybrid_service)
+            metrics = hybrid_service.runtime_metrics()
+            exercised = (
+                metrics.get("hybrid.deferred", 0) > 0
+                and metrics.get("hybrid.coalesced", 0) > 0
+            )
+            runs[f"{approach}/{gc_mode}"] = {
+                **checks,
+                "deferred": metrics.get("hybrid.deferred", 0),
+                "coalesced": metrics.get("hybrid.coalesced", 0),
+                "rededup_exercised": exercised,
+            }
+            if not (all(checks.values()) and exercised):
+                ok = False
+                progress(f"  FAIL: {approach}/{gc_mode}: {runs[f'{approach}/{gc_mode}']}")
+    return {
+        "dataset": EQUIV_DATASET,
+        "scale": HARD_SCALE,
+        "num_backups": HARD_BACKUPS,
+        "runs": runs,
+        "all_equivalent": ok,
+    }, ok
+
+
+def probe_section(args: argparse.Namespace, progress) -> tuple[dict, bool]:
+    """Part 3: ingest-path index probes per chunk, inline vs hybrid.
+
+    Ingest-only (no deletions, no GC), so the probe counters isolate the
+    ingest fast path: inline charges one logical-index probe per chunk
+    plus one validate per duplicate hit; hybrid charges one validate per
+    neighbor hit and nothing on the miss path.
+    """
+    backups = _duplicated(
+        dataset(EQUIV_DATASET, scale=args.probe_scale, num_backups=args.probe_backups)
+    )
+    total_chunks = sum(len(spec.chunks) for spec in backups)
+    results = {}
+    for dedup_mode in ("inline", "hybrid"):
+        progress(f"probes: {dedup_mode} ({total_chunks} chunks)")
+        config = SystemConfig.scaled(retained=len(backups), turnover=1)
+        service = make_service(
+            "naive", config, ServiceOptions(dedup_mode=dedup_mode)
+        )
+        for spec in backups:
+            service.ingest(spec.chunks, source=spec.source)
+        probes = service.pipeline.logical.lookups + service.index.lookups
+        results[dedup_mode] = {
+            "dedup_probes": probes,
+            "probes_per_chunk": probes / total_chunks if total_chunks else 0.0,
+            "index_lookups": service.index.lookups,
+            "logical_lookups": service.pipeline.logical.lookups,
+        }
+        if dedup_mode == "hybrid":
+            metrics = service.runtime_metrics()
+            results[dedup_mode]["deferred"] = metrics["hybrid.deferred"]
+            results[dedup_mode]["rededup_probes"] = metrics["hybrid.rededup_probes"]
+    reduction = 1.0 - (
+        results["hybrid"]["probes_per_chunk"]
+        / results["inline"]["probes_per_chunk"]
+    )
+    ok = results["hybrid"]["probes_per_chunk"] < results["inline"]["probes_per_chunk"]
+    if not ok:
+        progress("  FAIL: hybrid did not reduce ingest-path probes per chunk")
+    return {
+        "dataset": EQUIV_DATASET,
+        "scale": args.probe_scale,
+        "num_backups": args.probe_backups,
+        "total_chunks": total_chunks,
+        "modes": results,
+        "probe_reduction": reduction,
+        "hybrid_fewer_probes": ok,
+    }, ok
+
+
+def convergence_section(progress) -> dict:
+    """Per-rotation convergence series for naive/stw (reporting only)."""
+    progress("convergence: naive / stw series")
+    series: list[dict] = []
+
+    def record(rotation: int, service, stage: str) -> None:
+        if stage == "pre_gc":
+            series.append(
+                {
+                    "rotation": rotation,
+                    "physical_bytes_pre_gc": service.stats().physical_bytes,
+                    "pending_pre_gc": _pending(service),
+                }
+            )
+        else:
+            series[-1]["physical_bytes_post_gc"] = service.stats().physical_bytes
+            series[-1]["pending_post_gc"] = _pending(service)
+            series[-1]["live_dedup_ratio"] = _live_ratio(service)
+
+    _rotation_loop("naive", "hybrid", "stw", record=record)
+    inline_series: list[dict] = []
+
+    def record_inline(rotation: int, service, stage: str) -> None:
+        if stage == "post_gc":
+            inline_series.append(
+                {
+                    "rotation": rotation,
+                    "physical_bytes_post_gc": service.stats().physical_bytes,
+                    "live_dedup_ratio": _live_ratio(service),
+                }
+            )
+
+    _rotation_loop("naive", "inline", "stw", record=record_inline)
+    return {"hybrid": series, "inline": inline_series}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Hybrid-dedup benchmark (equivalence + probe reduction)."
+    )
+    parser.add_argument(
+        "--probe-scale", type=float, default=0.25,
+        help="workload scale of the probe-reduction run (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--probe-backups", type=int, default=12,
+        help="backups in the probe-reduction run, doubled by source "
+        "duplication (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_hybrid.json", help="output path (default: %(default)s)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    equivalence, equiv_ok = equivalence_section(progress)
+    hard, hard_ok = hard_equivalence_section(progress)
+    probes, probes_ok = probe_section(args, progress)
+    convergence = convergence_section(progress)
+    ok = equiv_ok and hard_ok and probes_ok
+    payload = {
+        "equivalence": equivalence,
+        "hard_equivalence": hard,
+        "probes": probes,
+        "convergence": convergence,
+        "gate_passed": ok,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"benchmark written to {args.out}", file=sys.stderr)
+    print(
+        json.dumps(
+            {
+                "all_equivalent": equivalence["all_equivalent"],
+                "hard_equivalent": hard["all_equivalent"],
+                "probe_reduction": round(probes["probe_reduction"], 4),
+                "probes_per_chunk_inline": round(
+                    probes["modes"]["inline"]["probes_per_chunk"], 4
+                ),
+                "probes_per_chunk_hybrid": round(
+                    probes["modes"]["hybrid"]["probes_per_chunk"], 4
+                ),
+            }
+        )
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

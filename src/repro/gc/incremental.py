@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import SystemConfig
+from repro.dedup.hybrid import HybridState, forced_containers, rededup_slice
 from repro.errors import ConfigError
 from repro.gc.mark import RECIPE_ENTRY_BYTES, MarkResult
 from repro.gc.migration import (
@@ -67,9 +68,16 @@ class GCBudget:
     sweep_containers: int = 4
     #: Expired volumes unlinked per MFDedup reorg step.
     mfdedup_volumes: int = 4
+    #: Deferred-duplicate candidates coalesced per hybrid rededup step.
+    rededup_keys: int = 8
 
     def __post_init__(self) -> None:
-        for name in ("mark_recipes", "sweep_containers", "mfdedup_volumes"):
+        for name in (
+            "mark_recipes",
+            "sweep_containers",
+            "mfdedup_volumes",
+            "rededup_keys",
+        ):
             if getattr(self, name) < 1:
                 raise ConfigError(f"GCBudget.{name} must be >= 1")
 
@@ -85,9 +93,16 @@ class GCCycleState:
     """
 
     round_index: int
-    #: ``mark`` → ``sweep`` → ``finalize``; the cycle completes out of
-    #: ``finalize`` (the intent commits, the selective purge runs).
+    #: (``rededup`` →) ``mark`` → ``sweep`` → ``finalize``; the cycle
+    #: completes out of ``finalize`` (the intent commits, the selective
+    #: purge runs).  The rededup phase only exists for hybrid-dedup
+    #: services with deferred candidates at cycle start.
     phase: str = "mark"
+    # -- hybrid rededup frontier ---------------------------------------
+    #: Deferred-duplicate candidate keys pinned (sorted) at cycle start;
+    #: processed ``budget.rededup_keys`` per step before the mark begins.
+    rededup_queue: list = field(default_factory=list)
+    rededup_pos: int = 0
     #: Recipe-population snapshots taken when the cycle began.  Recipes
     #: deleted after the snapshot wait for the next cycle; recipes ingested
     #: after it are protected by the live-reference barrier.
@@ -192,6 +207,7 @@ class IncrementalGC:
         disk: DiskModel,
         migration: MigrationStrategy | None = None,
         budget: GCBudget | None = None,
+        hybrid: HybridState | None = None,
     ):
         self.config = config
         self.store = store
@@ -200,6 +216,7 @@ class IncrementalGC:
         self.disk = disk
         self.migration = migration or NaiveMigration()
         self.budget = budget or GCBudget()
+        self.hybrid = hybrid
         self._rounds = 0
         self.history: list[GCReport] = []
         self._record = None
@@ -244,6 +261,17 @@ class IncrementalGC:
             deleted_ids=self.recipes.deleted_ids(),
             live_ids=self.recipes.live_ids(),
         )
+        if self.hybrid is not None:
+            # Pin the candidate set (sorted — the stop-the-world drain
+            # order, so both engines charge identical I/O in identical
+            # order).  With nothing deferred the phase is skipped
+            # entirely, but coalesced containers from a recovered slice
+            # still reach the mark's GS list.
+            state.rededup_queue = sorted(self.hybrid.candidates)
+            if state.rededup_queue:
+                state.phase = "rededup"
+            else:
+                state.gs_set |= forced_containers(self.hybrid, self.store)
         self._state = state
         self._record = self.journal.begin("gc.cycle", state=state)
 
@@ -272,7 +300,9 @@ class IncrementalGC:
         state = self._state
         if state.dirty:
             self._reset_runners(state)
-        if state.phase == "mark":
+        if state.phase == "rededup":
+            self._rededup_increment(state)
+        elif state.phase == "mark":
             self._mark_increment(state)
         elif state.phase == "sweep":
             self._sweep_increment(state)
@@ -361,6 +391,46 @@ class IncrementalGC:
                 ),
             )
             self._gccdf_runners = (checker, analyzer, planner)
+
+    # -- hybrid rededup ------------------------------------------------
+
+    def _rededup_increment(self, state: GCCycleState) -> None:
+        """Coalesce up to ``budget.rededup_keys`` deferred duplicates.
+
+        Each slice runs the same journaled protocol as the stop-the-world
+        pass (:func:`~repro.dedup.hybrid.rededup_slice`), with the cycle's
+        live-reference barrier threaded through so a coalesce retargets
+        barrier protection from the duplicate key to the canonical one.
+        When the queue drains, the containers that held coalesced copies
+        seed the mark's GS set and the cycle proceeds to the mark phase.
+        """
+        hybrid = self.hybrid
+        queue = state.rededup_queue
+        remaining = self.budget.rededup_keys
+        coalesced_before = hybrid.coalesced
+        with self.disk.phase("gc.rededup") as ph:
+            while remaining > 0 and state.rededup_pos < len(queue):
+                key = queue[state.rededup_pos]
+                state.rededup_pos += 1
+                remaining -= 1
+                rededup_slice(
+                    key,
+                    state=hybrid,
+                    index=self.index,
+                    recipes=self.recipes,
+                    journal=self.journal,
+                    disk=self.disk,
+                    barrier=state.barrier_keys,
+                )
+            ph.annotate(
+                round_index=state.round_index,
+                rededup_pos=state.rededup_pos,
+                coalesced=hybrid.coalesced - coalesced_before,
+                pending=len(hybrid.candidates),
+            )
+        if state.rededup_pos >= len(queue):
+            state.gs_set |= forced_containers(hybrid, self.store)
+            state.phase = "mark"
 
     # -- mark ----------------------------------------------------------
 
@@ -695,12 +765,19 @@ def partition_container_ids(
     engine: IncrementalGC, mark: MarkResult, container_id: int
 ) -> tuple[list, int]:
     """Partition one container against a mark result without a sweep context
-    (used while pinning the GCCDF work list)."""
+    (used while pinning the GCCDF work list).
+
+    Same index-membership guard as
+    :func:`~repro.gc.migration.partition_container`: a key the index no
+    longer holds (a coalesced hybrid duplicate) is invalid whatever the VC
+    table says.
+    """
     container = engine.store.peek(container_id)
+    index = engine.index
     valid = []
     invalid_bytes = 0
     for entry in container.entries:
-        if entry.fp in mark.vc_table:
+        if entry.fp in mark.vc_table and entry.fp in index:
             valid.append(entry)
         else:
             invalid_bytes += entry.size

@@ -72,11 +72,18 @@ class MarkStage:
         index: FingerprintIndex,
         recipes: RecipeStore,
         disk: DiskModel,
+        extra_gs: frozenset[int] | set[int] = frozenset(),
     ):
         self.config = config
         self.index = index
         self.recipes = recipes
         self.disk = disk
+        #: Containers force-fed onto the GS list regardless of deletions —
+        #: the hybrid rededup pass queues containers whose coalesced
+        #: duplicate bytes only the sweep can reclaim.  Seeded before
+        #: pass 1 so pass 2 builds their RRT rows exactly as it would for
+        #: deletion-selected containers.
+        self.extra_gs = frozenset(extra_gs)
 
     def run(self) -> MarkResult:
         if self.recipes.all_columnar():
@@ -107,11 +114,11 @@ class MarkStage:
         #: container's member set, which ``isdisjoint`` answers at C speed
         #: with early exit — so RRT incidence costs per *container*, not
         #: per chunk occurrence.
-        gs_members: dict[int, set[int]] = {}
+        gs_members: dict[int, set[int]] = {cid: set() for cid in self.extra_gs}
 
         with self.disk.phase("gc.mark") as ph:
             # Pass 1 — deleted recipes: find containers that may hold garbage.
-            gs_set: set[int] = set()
+            gs_set: set[int] = set(self.extra_gs)
             for recipe in self.recipes.deleted_recipes():
                 self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
                 fresh = recipe.unique_ids() - candidate_ids
@@ -191,7 +198,7 @@ class MarkStage:
 
         with self.disk.phase("gc.mark") as ph:
             # Pass 1 — deleted recipes: find containers that may hold garbage.
-            gs_set: set[int] = set()
+            gs_set: set[int] = set(self.extra_gs)
             candidate_keys: set[bytes] = set()
             for recipe in self.recipes.deleted_recipes():
                 self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)

@@ -99,12 +99,20 @@ def partition_container(ctx: SweepContext, container_id: int) -> tuple[list[Chun
 
     Returns ``(valid_entries, invalid_bytes)``.  With a Bloom VC table a dead
     chunk may test valid and be retained — safe, never the reverse.
+
+    A key the index no longer holds is always invalid, whatever the VC
+    table says: the hybrid rededup pass drops coalesced duplicate keys
+    from the index while their bytes are still at rest, and migrating such
+    a chunk would have nothing to repoint.  (Inline mode never stores a
+    container whose keys are absent from the index, so the guard is a
+    no-op there.)
     """
     container = ctx.store.peek(container_id)
+    index = ctx.index
     valid: list[ChunkRef] = []
     invalid_bytes = 0
     for entry in container.entries:
-        if entry.fp in ctx.mark.vc_table:
+        if entry.fp in ctx.mark.vc_table and entry.fp in index:
             valid.append(entry)
         else:
             invalid_bytes += entry.size
@@ -114,7 +122,12 @@ def partition_container(ctx: SweepContext, container_id: int) -> tuple[list[Chun
 def invalid_keys(ctx: SweepContext, container_id: int) -> list[bytes]:
     """Storage keys of one container's invalid chunks (metadata only)."""
     container = ctx.store.peek(container_id)
-    return [e.fp for e in container.entries if e.fp not in ctx.mark.vc_table]
+    index = ctx.index
+    return [
+        e.fp
+        for e in container.entries
+        if e.fp not in ctx.mark.vc_table or e.fp not in index
+    ]
 
 
 class JournaledCopyForward:

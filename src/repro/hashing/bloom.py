@@ -37,7 +37,10 @@ class BloomFilter:
     salt:
         Optional domain-separation salt mixed into the hash, so that several
         filters over the same keys (e.g. one per backup recipe) do not share
-        collision patterns.
+        collision patterns.  Salts longer than BLAKE2b's 16-byte limit are
+        pre-hashed down to 16 bytes (not truncated), so arbitrarily long
+        salts still separate; salts of at most 16 bytes are used as-is,
+        keeping historical probe sequences bit-identical.
     """
 
     __slots__ = (
@@ -66,7 +69,16 @@ class BloomFilter:
         # Pre-bound digest constructor: probing is a hot path (the mark
         # stage's per-key index guard, the Analyzer's reference filters),
         # so keyword-argument setup is paid once here, not per key.
-        self._hasher = partial(hashlib.blake2b, digest_size=16, salt=salt[:16])
+        # BLAKE2b accepts at most 16 salt bytes; longer salts are folded
+        # through a 16-byte digest so distinct salts keep distinct probe
+        # sequences (truncation would alias salts sharing a 16-byte
+        # prefix).  Salts of <= 16 bytes pass through unchanged, keeping
+        # every existing filter bit-identical.
+        if len(salt) > 16:
+            effective_salt = hashlib.blake2b(salt, digest_size=16).digest()
+        else:
+            effective_salt = salt
+        self._hasher = partial(hashlib.blake2b, digest_size=16, salt=effective_salt)
         self.count = 0
 
     def _probes(self, key: bytes) -> Iterable[int]:

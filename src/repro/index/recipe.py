@@ -118,6 +118,23 @@ class RecipeStore:
             raise UnknownBackupError(f"backup {backup_id} unknown")
         return recipe
 
+    def replace(self, recipe: AnyRecipe) -> None:
+        """Swap in a rebuilt recipe for an already-stored backup id.
+
+        Recipes are immutable by convention, so "repointing" a reference
+        (the GC rededup pass folding a deferred duplicate onto its
+        canonical copy) means building a new recipe object and replacing
+        the stored one.  Deletion state is keyed by id and untouched; the
+        tuple-representation census is adjusted if the replacement changes
+        representation.
+        """
+        old = self._recipes.get(recipe.backup_id)
+        if old is None:
+            raise UnknownBackupError(f"backup {recipe.backup_id} unknown")
+        self._recipes[recipe.backup_id] = recipe
+        if isinstance(old, ColumnarRecipe) != isinstance(recipe, ColumnarRecipe):
+            self._tuple_recipes += 1 if isinstance(old, ColumnarRecipe) else -1
+
     def mark_deleted(self, backup_id: int) -> None:
         """Logically delete a backup (its recipe stays until GC purges it)."""
         if backup_id not in self._recipes:

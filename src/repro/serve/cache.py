@@ -77,11 +77,21 @@ class TieredReadCache:
         return None
 
     def put_chunk(self, fp: bytes, size: int, payload: bytes | None) -> None:
-        """Insert a chunk fetched from the lower tiers, evicting LRU-first."""
+        """Insert a chunk fetched from the lower tiers, evicting LRU-first.
+
+        Re-inserting a fingerprint that is already cached refreshes its
+        recency — assignment alone leaves an existing key at its old
+        position in the ``OrderedDict``, which would let a hot chunk be
+        evicted from deep in the LRU order.
+        """
+        refresh = fp in self._chunks
         self._chunks[fp] = (size, payload)
-        if self.chunk_capacity is not None and len(self._chunks) > self.chunk_capacity:
-            self._chunks.popitem(last=False)
-            self.chunk_evictions += 1
+        if self.chunk_capacity is not None:
+            if refresh:
+                self._chunks.move_to_end(fp)
+            elif len(self._chunks) > self.chunk_capacity:
+                self._chunks.popitem(last=False)
+                self.chunk_evictions += 1
 
     # ------------------------------------------------------------------
     # Container tier

@@ -36,7 +36,7 @@ from repro.analysis.layout import ownership_histogram, render_layout
 from repro.analysis.ownership import container_purity, mean_purity, ownership_stats
 from repro.backup.approaches import APPROACHES, make_service
 from repro.backup.options import ServiceOptions
-from repro.backup.driver import RotationDriver
+from repro.backup.driver import BackupSpec, RotationDriver
 from repro.backup.verify import verify_service
 from repro.config import SystemConfig
 from repro.errors import SimulatedCrash
@@ -134,6 +134,25 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 #: every crash point in :data:`~repro.faults.CRASH_POINTS`.
 MATRIX_APPROACHES = ("capping", "gccdf", "mfdedup")
 
+#: Hybrid-dedup spot rows added to the ``--matrix`` smoke: the two
+#: approaches whose pipeline takes the hybrid path, armed at the coalesce
+#: point, in both GC modes.
+HYBRID_MATRIX_APPROACHES = ("naive", "gccdf")
+
+
+def _duplicated_sources(backups):
+    """Replay each backup under two source names (``…#a`` / ``…#b``).
+
+    Hybrid ingest dedups a source's stream against its own neighbor
+    window, so a single-source preset defers almost nothing; the mirrored
+    second copy neighbor-misses everything, hits the ingest filter, and
+    produces the deferred-duplicate population the ``gc.rededup`` point
+    needs to actually fire.
+    """
+    for spec in backups:
+        yield BackupSpec(source=f"{spec.source}#a", chunks=spec.chunks)
+        yield BackupSpec(source=f"{spec.source}#b", chunks=spec.chunks)
+
 
 def _fault_scenario(
     approach: str,
@@ -142,6 +161,7 @@ def _fault_scenario(
     dataset_name: str,
     scale_name: str,
     gc_mode: str = "stw",
+    dedup_mode: str = "inline",
 ) -> tuple[str, str]:
     """Run one crash/recover/verify scenario; return ``(status, detail)``.
 
@@ -153,6 +173,10 @@ def _fault_scenario(
     :class:`~repro.gc.incremental.IncrementalGC` (so ``gc.increment``
     boundaries actually fire), and after recovery the interrupted cycle is
     *resumed* to completion and re-verified — the journal must end empty.
+
+    In hybrid dedup mode the workload replays every backup under two
+    source names (see :func:`_duplicated_sources`) so deferred duplicates
+    exist and the ``gc.rededup`` point is reachable.
     """
     scale = get_scale(scale_name)
     plan = FaultPlan.single(point, occurrence)
@@ -164,7 +188,9 @@ def _fault_scenario(
         gc_budget = GCBudget(mark_recipes=3, sweep_containers=2, mfdedup_volumes=1)
     service = make_service(
         approach, config,
-        ServiceOptions(faults=plan, gc_mode=gc_mode, gc_budget=gc_budget),
+        ServiceOptions(
+            faults=plan, gc_mode=gc_mode, gc_budget=gc_budget, dedup_mode=dedup_mode
+        ),
     )
     driver = RotationDriver(service, config.retention, dataset_name=dataset_name)
     backups = dataset(
@@ -172,6 +198,8 @@ def _fault_scenario(
         scale=scale.workload_scale,
         num_backups=scale.num_backups(dataset_name),
     )
+    if dedup_mode == "hybrid":
+        backups = _duplicated_sources(backups)
     try:
         driver.run(backups)
     except SimulatedCrash as crash:
@@ -207,23 +235,35 @@ def _fault_scenario(
 def cmd_faults(args: argparse.Namespace) -> int:
     if args.matrix:
         scenarios = [
-            (gc_mode, approach, point)
+            (gc_mode, "inline", approach, point)
             for gc_mode in ("stw", "incremental")
             for approach in MATRIX_APPROACHES
             for point in points_for(approach, gc_mode=gc_mode)
         ]
+        scenarios += [
+            (gc_mode, "hybrid", approach, "gc.rededup")
+            for gc_mode in ("stw", "incremental")
+            for approach in HYBRID_MATRIX_APPROACHES
+        ]
     elif args.point:
-        scenarios = [(args.gc_mode, args.approach, args.point)]
+        scenarios = [(args.gc_mode, args.dedup_mode, args.approach, args.point)]
     else:
         raise SystemExit("pass --point <crash-point> or --matrix")
 
     failures = 0
     fired = 0
-    for gc_mode, approach, point in scenarios:
+    for gc_mode, dedup_mode, approach, point in scenarios:
         status, detail = _fault_scenario(
-            approach, point, args.occurrence, args.dataset, args.scale, gc_mode=gc_mode
+            approach,
+            point,
+            args.occurrence,
+            args.dataset,
+            args.scale,
+            gc_mode=gc_mode,
+            dedup_mode=dedup_mode,
         )
-        print(f"{status:<5} {gc_mode:<11} {approach:<8} {point:<18} {detail}")
+        mode = gc_mode if dedup_mode == "inline" else f"{gc_mode}+hybrid"
+        print(f"{status:<5} {mode:<18} {approach:<8} {point:<18} {detail}")
         if status == "fail":
             failures += 1
         elif status == "ok":
@@ -297,10 +337,18 @@ def build_parser() -> argparse.ArgumentParser:
         "fires in incremental mode); --matrix always covers both",
     )
     faults.add_argument(
+        "--dedup-mode",
+        choices=("inline", "hybrid"),
+        default="inline",
+        help="dedup mode for a single --point scenario (gc.rededup only "
+        "fires in hybrid mode, over a duplicated-source workload)",
+    )
+    faults.add_argument(
         "--matrix",
         action="store_true",
         help="run every crash point for capping, gccdf, and mfdedup, "
-        "in both stop-the-world and incremental GC modes",
+        "in both stop-the-world and incremental GC modes, plus hybrid-"
+        "dedup gc.rededup spot rows for naive and gccdf",
     )
     faults.set_defaults(func=cmd_faults)
 

@@ -92,6 +92,7 @@ class TestFaultPlan:
             assert set(points_for(approach)) <= set(CRASH_POINTS)
             reachable |= set(points_for(approach))
             reachable |= set(points_for(approach, gc_mode="incremental"))
+            reachable |= set(points_for(approach, dedup_mode="hybrid"))
         assert reachable == set(CRASH_POINTS)
         assert points_for("naive") == CONTAINER_POINTS
         # The boundary point exists only on the incremental GC's data path.
@@ -100,6 +101,19 @@ class TestFaultPlan:
         )
         assert "gc.increment" not in points_for("mfdedup")
         assert "gc.increment" in points_for("mfdedup", gc_mode="incremental")
+
+    def test_points_for_hybrid_rededup_reachability(self):
+        # Only the approaches whose pipeline takes the hybrid path expose
+        # the coalesce point; rewriting policies, MFDedup, and nondedup
+        # fall back to inline ingest.
+        for approach in ("naive", "gccdf"):
+            assert "gc.rededup" in points_for(approach, dedup_mode="hybrid")
+            assert "gc.rededup" in points_for(
+                approach, gc_mode="incremental", dedup_mode="hybrid"
+            )
+            assert "gc.rededup" not in points_for(approach)
+        for approach in ("capping", "har", "smr", "mfdedup", "nondedup"):
+            assert "gc.rededup" not in points_for(approach, dedup_mode="hybrid")
 
 
 class TestIntentJournal:

@@ -84,6 +84,55 @@ class TestBloomFilter:
         hits_b = {k for k in outsiders if k in b}
         assert hits_a != hits_b  # different collision patterns
 
+    def test_long_salt_accepted(self):
+        # Regression: BLAKE2b caps salts at 16 bytes; longer salts used to
+        # raise ValueError out of the digest constructor.
+        bloom = BloomFilter(capacity=10, salt=b"a-domain-separation-salt-over-16-bytes")
+        bloom.add(b"k" * 20)
+        assert b"k" * 20 in bloom
+
+    def test_long_salts_sharing_prefix_do_not_alias(self):
+        # Truncation would collapse salts with a common 16-byte prefix
+        # into one probe sequence; pre-hashing must keep them distinct.
+        prefix = b"0123456789abcdef"
+        a = BloomFilter(capacity=50, fp_rate=0.2, salt=prefix + b"AAAA")
+        b = BloomFilter(capacity=50, fp_rate=0.2, salt=prefix + b"BBBB")
+        keys = [fingerprint(str(i).encode()) for i in range(50)]
+        a.update(keys)
+        b.update(keys)
+        outsiders = [fingerprint(f"o{i}".encode()) for i in range(2000)]
+        assert {k for k in outsiders if k in a} != {k for k in outsiders if k in b}
+
+    def test_long_salt_equivalent_to_its_digest(self):
+        # The documented fold: salts > 16 bytes behave exactly like their
+        # 16-byte BLAKE2b digest (so the mapping is stable, not ad hoc).
+        import hashlib
+
+        long_salt = b"x" * 40
+        folded = hashlib.blake2b(long_salt, digest_size=16).digest()
+        a = BloomFilter(capacity=50, fp_rate=0.2, salt=long_salt)
+        b = BloomFilter(capacity=50, fp_rate=0.2, salt=folded)
+        keys = [fingerprint(str(i).encode()) for i in range(50)]
+        a.update(keys)
+        b.update(keys)
+        assert a._bits == b._bits
+
+    def test_short_salt_used_verbatim(self):
+        # Salts of at most 16 bytes must keep their historical probe
+        # sequences bit-identical (golden outputs depend on them), i.e.
+        # not be routed through the pre-hash.
+        import hashlib
+
+        salt = b"exactly16bytes!!"
+        assert len(salt) == 16
+        digest_of_salt = hashlib.blake2b(salt, digest_size=16).digest()
+        verbatim = BloomFilter(capacity=50, fp_rate=0.2, salt=salt)
+        folded = BloomFilter(capacity=50, fp_rate=0.2, salt=digest_of_salt)
+        keys = [fingerprint(str(i).encode()) for i in range(50)]
+        verbatim.update(keys)
+        folded.update(keys)
+        assert verbatim._bits != folded._bits
+
     def test_len_counts_insertions(self):
         bloom = BloomFilter(capacity=10)
         bloom.add(b"k1" * 10)

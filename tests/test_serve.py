@@ -119,6 +119,27 @@ class TestTieredReadCache:
         assert cache.chunk_misses == 2
         assert cache.chunk_evictions == 1
 
+    def test_put_chunk_refreshes_recency(self):
+        # Regression: re-inserting a cached fingerprint must move it to
+        # the MRU end — plain dict assignment leaves it at its old LRU
+        # position, so a hot, repeatedly-fetched chunk could be evicted.
+        cache = TieredReadCache(store=None, chunk_capacity=2)
+        cache.put_chunk(b"a", 10, None)
+        cache.put_chunk(b"b", 20, None)
+        cache.put_chunk(b"a", 11, None)  # refresh (and update payload)
+        cache.put_chunk(b"c", 30, None)  # must evict "b", not "a"
+        assert cache.get_chunk(b"a") == (11, None)
+        assert cache.get_chunk(b"b") is None
+        assert cache.chunk_evictions == 1
+
+    def test_put_chunk_refresh_does_not_evict(self):
+        cache = TieredReadCache(store=None, chunk_capacity=2)
+        cache.put_chunk(b"a", 10, None)
+        cache.put_chunk(b"b", 20, None)
+        cache.put_chunk(b"b", 21, None)  # at capacity: refresh, no eviction
+        assert cache.chunk_evictions == 0
+        assert len(cache) == 2
+
     def test_no_container_tier(self):
         cache = TieredReadCache(store=None)
         assert cache.container_hits == 0
