@@ -78,6 +78,12 @@ class DedupBackupService(BackupService):
         # skips map accesses for keys that were never inserted.
         self.index = FingerprintIndex(negative_guard=True)
         self.recipes = RecipeStore()
+        if columnar:
+            # Columnar sweep: sealed containers carry an interned-id
+            # manifest over the same id space as the recipes, so GC
+            # validity partitioning runs as set algebra.  Legacy services
+            # skip the bind and keep manifest-free containers.
+            self.store.bind_interner(self.recipes.interner)
         # Hybrid dedup state exists only when the mode can actually take
         # effect: it needs dedup and is bypassed by rewriting policies (the
         # pipeline dispatch falls back to inline for those), so non-dedup

@@ -1,6 +1,6 @@
-"""``repro-bench`` — hot-path microbenchmarks: ingest, GC mark, restore.
+"""``repro-bench`` — hot-path microbenchmarks: ingest, GC mark, sweep, restore.
 
-Times the three per-chunk-occurrence hot loops twice — once on the columnar
+Times the per-chunk-occurrence hot loops twice — once on the columnar
 engine (interned ids, ``array('q')`` recipes, batched kernels) and once on
 the legacy tuple-of-``ChunkRef`` path (``columnar=False``) — over the same
 pre-materialised workload, and writes the comparison to
@@ -10,20 +10,32 @@ pre-materialised workload, and writes the comparison to
   (duplicate-majority streams; this is where interning pays);
 * **mark** — delete the ``turnover`` oldest backups, then run the GC mark
   stage repeatedly (mark is read-only, so repeats measure the same work);
+* **sweep** — one full GC cycle (mark + copy-forward sweep + reclaim +
+  purge) per repeat, each on a freshly rebuilt service, since a collection
+  consumes its own garbage;
 * **restore** — restore every live backup through the engine's cache path.
 
 Both representations produce byte-identical accounting (asserted here on
 every run — the benchmark doubles as an A/B equivalence check); only wall
-time may differ.  The CI ``bench-smoke`` job gates on the ingest speedup
-and reports mark/restore, and the acceptance bar for the columnar engine
-is ≥ 2× on combined ingest+mark at medium scale.
+time may differ.  The CI ``bench-smoke`` job gates on the ingest and sweep
+speedups, and the acceptance bars for the columnar engine at medium scale
+are ≥ 2× on combined ingest+mark and ≥ 1.5× on the GC cycle (naive and
+gccdf alike).
+
+``--profile`` wraps every timed stage in :mod:`cProfile` and dumps the
+top functions by cumulative time to stderr (or ``--profile-out``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import cProfile
+import dataclasses
+import io
 import json
 import pathlib
+import pstats
 import sys
 import time
 
@@ -38,9 +50,61 @@ from repro.workloads.datasets import DATASET_NAMES, dataset
 #: Default location of the written comparison (CI uploads it from here).
 DEFAULT_OUT = pathlib.Path("benchmarks/results/BENCH_hotpath.json")
 
-#: Approaches timed by default: the dedup-majority fast path (naive) and
-#: one rewriting policy exercising the general columnar path (capping).
-DEFAULT_APPROACHES = ("naive", "capping")
+#: Approaches timed by default: the dedup-majority fast path (naive), one
+#: rewriting policy exercising the general columnar path (capping), and the
+#: paper's piggybacked defragmentation (gccdf) whose analyze/reorg sweep is
+#: the heaviest GC cycle.
+DEFAULT_APPROACHES = ("naive", "capping", "gccdf")
+
+
+class StageProfiler:
+    """Optional cProfile wrapper around each timed benchmark stage.
+
+    Collects one profile per ``stage(label)`` region; :meth:`dump` writes
+    the top-``top`` functions by cumulative time per stage to ``out_path``
+    (or stderr).  Profiling adds tracing overhead, so profiled wall times
+    are for attribution, not for the reported speedups — run without
+    ``--profile`` for clean numbers.
+    """
+
+    def __init__(self, top: int = 25, out_path: pathlib.Path | None = None) -> None:
+        self.top = top
+        self.out_path = out_path
+        self._sections: list[tuple[str, str]] = []
+
+    @contextlib.contextmanager
+    def stage(self, label: str):
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+            buffer = io.StringIO()
+            stats = pstats.Stats(profile, stream=buffer)
+            stats.sort_stats("cumulative").print_stats(self.top)
+            self._sections.append((label, buffer.getvalue()))
+
+    def dump(self) -> None:
+        text = "\n".join(
+            f"=== {label} ===\n{body}" for label, body in self._sections
+        )
+        if self.out_path is not None:
+            self.out_path.parent.mkdir(parents=True, exist_ok=True)
+            self.out_path.write_text(text)
+        else:
+            sys.stderr.write(text)
+
+
+class _NullProfiler:
+    """No-op stand-in when ``--profile`` is off."""
+
+    @contextlib.contextmanager
+    def stage(self, label: str):
+        yield
+
+    def dump(self) -> None:
+        pass
 
 
 def _build_service(approach: str, scale, columnar: bool) -> BackupService:
@@ -93,6 +157,43 @@ def _bench_mark(service: BackupService, turnover: int, repeats: int) -> float:
     return best
 
 
+def _bench_sweep(
+    approach: str, scale, columnar: bool, backups: list[BackupSpec], repeats: int
+) -> tuple[float, BackupService]:
+    """Best single full GC cycle: mark + copy-forward sweep + reclaim + purge.
+
+    A collection consumes its own garbage, so every repeat rebuilds a fresh
+    service, re-ingests the workload and re-deletes the ``turnover`` oldest
+    backups *outside* the timed region; the timed region is exactly
+    ``service.run_gc()``.  The service from the last repeat (all repeats
+    are identical) is returned for the A/B equivalence checks.
+    """
+    best = float("inf")
+    service: BackupService | None = None
+    for _ in range(max(1, repeats)):
+        service = _build_service(approach, scale, columnar)
+        for spec in backups:
+            service.ingest(spec.chunks, source=spec.source)
+        service.delete_oldest(scale.turnover)
+        started = time.perf_counter()
+        service.run_gc()
+        best = min(best, time.perf_counter() - started)
+    assert service is not None
+    return best, service
+
+
+def _gc_report_fields(service: BackupService) -> dict:
+    """The last GC round's report as a dict, minus measured interpreter
+    wall time (``analyze_cpu_seconds``), which legitimately differs between
+    representations — everything else must match exactly."""
+    history = getattr(getattr(service, "gc", None), "history", None)
+    if not history:
+        return {}
+    report = dataclasses.asdict(history[-1])
+    report.pop("analyze_cpu_seconds", None)
+    return report
+
+
 def _bench_restore(service: BackupService, repeats: int) -> float:
     """Best single pass restoring every live backup (restore is read-only)."""
     live = service.live_backup_ids()
@@ -119,20 +220,35 @@ def bench_approach(
     backups: list[BackupSpec],
     repeats: int,
     emit=print,
+    profiler=None,
 ) -> dict:
-    """Time ingest/mark/restore on both representations for one approach."""
+    """Time ingest/mark/sweep/restore on both representations for one
+    approach."""
+    profiler = profiler or _NullProfiler()
     timings: dict[str, dict[str, float]] = {}
     services: dict[bool, BackupService] = {}
+    gc_services: dict[bool, BackupService] = {}
     for columnar in (True, False):
         label = "columnar" if columnar else "legacy"
-        ingest_seconds, service = _bench_ingest(
-            approach, scale, columnar, backups, repeats
-        )
+        with profiler.stage(f"{approach}/{label}/ingest"):
+            ingest_seconds, service = _bench_ingest(
+                approach, scale, columnar, backups, repeats
+            )
         services[columnar] = service
+        with profiler.stage(f"{approach}/{label}/mark"):
+            mark_seconds = _bench_mark(service, scale.turnover, repeats)
+        with profiler.stage(f"{approach}/{label}/sweep"):
+            sweep_seconds, gc_service = _bench_sweep(
+                approach, scale, columnar, backups, repeats
+            )
+        gc_services[columnar] = gc_service
+        with profiler.stage(f"{approach}/{label}/restore"):
+            restore_seconds = _bench_restore(service, repeats)
         timings[label] = {
             "ingest": ingest_seconds,
-            "mark": _bench_mark(service, scale.turnover, repeats),
-            "restore": _bench_restore(service, repeats),
+            "mark": mark_seconds,
+            "sweep": sweep_seconds,
+            "restore": restore_seconds,
         }
         emit(
             f"  {approach}/{label}: "
@@ -148,6 +264,23 @@ def bench_approach(
             f"{approach}: columnar/legacy accounting diverged: "
             f"{stats_columnar} vs {stats_legacy}"
         )
+    # Same bar for the post-collection state: service accounting plus the
+    # GC round's own report (reclaimed/migrated/produced counts, simulated
+    # seconds) must be identical after a full cycle on either path.
+    gc_stats_columnar = gc_services[True].stats()
+    gc_stats_legacy = gc_services[False].stats()
+    if gc_stats_columnar != gc_stats_legacy:
+        raise AssertionError(
+            f"{approach}: columnar/legacy post-GC accounting diverged: "
+            f"{gc_stats_columnar} vs {gc_stats_legacy}"
+        )
+    report_columnar = _gc_report_fields(gc_services[True])
+    report_legacy = _gc_report_fields(gc_services[False])
+    if report_columnar != report_legacy:
+        raise AssertionError(
+            f"{approach}: columnar/legacy GC reports diverged: "
+            f"{report_columnar} vs {report_legacy}"
+        )
 
     col, leg = timings["columnar"], timings["legacy"]
     ingest_mark_columnar = col["ingest"] + col["mark"]
@@ -155,9 +288,13 @@ def bench_approach(
     return {
         "ingest": _stage(col["ingest"], leg["ingest"]),
         "mark": _stage(col["mark"], leg["mark"]),
+        "sweep": _stage(col["sweep"], leg["sweep"]),
         "restore": _stage(col["restore"], leg["restore"]),
         "ingest_mark_speedup": (
             ingest_mark_legacy / ingest_mark_columnar if ingest_mark_columnar else 0.0
+        ),
+        "gc_cycle_speedup": (
+            leg["sweep"] / col["sweep"] if col["sweep"] else 0.0
         ),
     }
 
@@ -168,6 +305,7 @@ def run_bench(
     dataset_name: str = "mix",
     repeats: int = 3,
     emit=print,
+    profiler=None,
 ) -> dict:
     scale = get_scale(scale_name)
     # Materialise the workload once, outside every timed region, so stream
@@ -184,7 +322,9 @@ def run_bench(
         f"{len(backups)} backups, best of {repeats}"
     )
     results = {
-        approach: bench_approach(approach, scale, backups, repeats, emit=emit)
+        approach: bench_approach(
+            approach, scale, backups, repeats, emit=emit, profiler=profiler
+        )
         for approach in approaches
     }
     # The headline acceptance metric is the default-pipeline microbench:
@@ -203,6 +343,7 @@ def run_bench(
         "headline": {
             "approach": primary,
             "ingest_mark_speedup": results[primary]["ingest_mark_speedup"],
+            "gc_cycle_speedup": results[primary]["gc_cycle_speedup"],
         },
     }
 
@@ -229,6 +370,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", default=str(DEFAULT_OUT), help="output JSON path"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile every timed stage; dump top functions by cumulative "
+        "time (profiled wall times are for attribution, not comparison)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="write the --profile dump to PATH instead of stderr",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of functions per stage in the --profile dump",
+    )
     args = parser.parse_args(argv)
 
     approaches = tuple(name.strip() for name in args.approaches.split(",") if name.strip())
@@ -236,12 +396,22 @@ def main(argv: list[str] | None = None) -> int:
         if name not in APPROACHES:
             raise SystemExit(f"unknown approach {name!r}; choose from {APPROACHES}")
 
+    profiler = None
+    if args.profile or args.profile_out:
+        profiler = StageProfiler(
+            top=args.profile_top,
+            out_path=pathlib.Path(args.profile_out) if args.profile_out else None,
+        )
+
     payload = run_bench(
         args.scale,
         approaches=approaches,
         dataset_name=args.dataset,
         repeats=args.repeats,
+        profiler=profiler,
     )
+    if profiler is not None:
+        profiler.dump()
 
     out = pathlib.Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -251,13 +421,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{approach}: ingest ×{stages['ingest']['speedup']:.2f}, "
             f"mark ×{stages['mark']['speedup']:.2f}, "
+            f"sweep ×{stages['sweep']['speedup']:.2f}, "
             f"restore ×{stages['restore']['speedup']:.2f}, "
-            f"ingest+mark ×{stages['ingest_mark_speedup']:.2f}"
+            f"ingest+mark ×{stages['ingest_mark_speedup']:.2f}, "
+            f"gc cycle ×{stages['gc_cycle_speedup']:.2f}"
         )
     headline = payload["headline"]
     print(
         f"headline ({headline['approach']}): "
-        f"ingest+mark ×{headline['ingest_mark_speedup']:.2f}"
+        f"ingest+mark ×{headline['ingest_mark_speedup']:.2f}, "
+        f"gc cycle ×{headline['gc_cycle_speedup']:.2f}"
     )
     return 0
 

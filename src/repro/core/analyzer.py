@@ -28,6 +28,8 @@ traversal yields the similarity-sorted order of Fig. 10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import compress
+from operator import not_
 from typing import Callable
 
 from repro.config import GCCDFConfig
@@ -81,12 +83,31 @@ class ReferenceChecker:
             self._filters[backup_id] = predicate
         return predicate
 
+    def exact_ids(self, backup_id: int) -> frozenset[int] | None:
+        """The recipe's exact interned-id member set (columnar recipes only).
+
+        This is the Analyzer's id-level fast path: an id in this set is a
+        *proven* recipe member, so the Bloom predicate — which has no false
+        negatives — would answer True for its key without being asked.  Ids
+        outside it still probe the real filter, reproducing the filter's
+        false positives bit-for-bit (clustering, and therefore layout, must
+        not depend on which kernel ran).  The set is the recipe's cached
+        ``unique_ids()`` — already materialised by the columnar mark — so
+        consulting it costs no build work and is deliberately not counted
+        in ``build_ops``.
+        """
+        recipe = self.recipes.get(backup_id)
+        unique_ids = getattr(recipe, "unique_ids", None)
+        return unique_ids() if unique_ids is not None else None
+
 
 @dataclass
 class _LeafNode:
     """A leaf of the ownership tree (optimization ④: linked, refs only)."""
 
     chunks: list[ChunkRef]
+    #: Interned ids aligned with ``chunks`` (columnar runs only).
+    ids: list[int] | None = None
     #: Backups (ascending id) confirmed to reference every chunk here.
     owners: list[int] = field(default_factory=list)
     denied: bool = False
@@ -119,21 +140,42 @@ class Analyzer:
         self,
         valid_chunks: list[ChunkRef],
         involved_backups: tuple[int, ...],
+        valid_ids: list[int] | None = None,
     ) -> list[Cluster]:
-        """Run the round-based splitting; returns clusters in tree order."""
+        """Run the round-based splitting; returns clusters in tree order.
+
+        ``valid_ids`` (interned ids aligned with ``valid_chunks``, columnar
+        services only) switches the per-leaf reference check to the fused
+        id-level kernel: a C-level hit against the recipe's exact id set
+        proves membership — the Bloom predicate has no false negatives, so
+        its answer is already known — and only the non-member minority
+        probes the real filter (one fused pass, reproducing Bloom false
+        positives exactly).  Probe accounting is unchanged — ``probes``
+        counts chunk classifications, not digest computations, on both
+        kernels — so ``analyze_ops`` and the ``gc.segment`` trace are
+        identical either way.
+        """
         if not valid_chunks:
             self.last_leaf_count = 0
             self.last_probe_count = 0
             self.last_chunk_count = 0
             return []
 
-        head = _LeafNode(chunks=list(valid_chunks))
+        head = _LeafNode(
+            chunks=list(valid_chunks),
+            ids=list(valid_ids) if valid_ids is not None else None,
+        )
         threshold = self.config.split_denial_threshold
+        exact_config = self.config.exact_reference_check
+        keys = (
+            self.checker.recipes.interner.keys() if valid_ids is not None else None
+        )
         probes = 0
 
         # Optimization ②: most recent backup first.
         for backup_id in sorted(involved_backups, reverse=True):
             predicate = self.checker.membership(backup_id)
+            exact = self.checker.exact_ids(backup_id) if valid_ids is not None else None
             node: _LeafNode | None = head
             while node is not None:
                 successor = node.next
@@ -143,19 +185,43 @@ class Analyzer:
                     node = successor
                     continue
                 probes += len(node.chunks)
-                referenced = [c for c in node.chunks if predicate(c.fp)]
-                unreferenced = [c for c in node.chunks if not predicate(c.fp)]
+                node_ids = node.ids
+                if node_ids is not None and exact is not None:
+                    if exact_config:
+                        # Exact-check config: the predicate *is* recipe
+                        # membership, which the id set answers outright.
+                        flags = [chunk_id in exact for chunk_id in node_ids]
+                    else:
+                        flags = [
+                            chunk_id in exact or predicate(keys[chunk_id])
+                            for chunk_id in node_ids
+                        ]
+                    referenced = list(compress(node.chunks, flags))
+                    if len(referenced) == len(node.chunks):
+                        unreferenced: list[ChunkRef] = []
+                    elif not referenced:
+                        unreferenced = node.chunks
+                    else:
+                        inverse = list(map(not_, flags))
+                        unreferenced = list(compress(node.chunks, inverse))
+                        right_ids = list(compress(node_ids, inverse))
+                        node.ids = list(compress(node_ids, flags))
+                else:
+                    referenced = [c for c in node.chunks if predicate(c.fp)]
+                    unreferenced = [c for c in node.chunks if not predicate(c.fp)]
+                    right_ids = None
                 if referenced and unreferenced:
                     # Split: referenced chunks stay in `node` (left child),
                     # the rest move to a new right sibling.
                     right = _LeafNode(
                         chunks=unreferenced,
+                        ids=right_ids,
                         owners=list(node.owners),
                         prev=node,
                         next=successor,
                     )
-                    node.chunks = referenced
                     node.owners = node.owners + [backup_id]
+                    node.chunks = referenced
                     node.next = right
                     if successor is not None:
                         successor.prev = right

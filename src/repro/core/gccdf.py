@@ -12,6 +12,15 @@ segments, so a container may absorb the tail of one segment and the head of
 the next instead of sealing underfilled containers at every segment
 boundary.  This strictly reduces produced containers and matches the paper's
 "fill [clusters] sequentially into the containers" description.
+
+On the columnar path the sweep-write drains each segment as one batched
+column (the planner's reordered sequence plus a bulk source lookup against
+the index's placement map) through :meth:`JournaledCopyForward
+.migrate_batch`; payload-carrying segments and legacy services keep the
+per-chunk loop.  Reclaim data comes from the preprocessing-time partitions
+the segments already carry — validity is stable within a drained round, so
+re-partitioning every container a second time here would recompute the same
+answer.
 """
 
 from __future__ import annotations
@@ -23,8 +32,6 @@ from repro.gc.migration import (
     JournaledCopyForward,
     MigrationResult,
     SweepContext,
-    invalid_keys,
-    partition_container,
 )
 from repro.util.rng import DeterministicRng
 
@@ -64,7 +71,11 @@ class GCCDFMigration:
             # Analyze: cluster by ownership, then pack (CPU time, Fig. 14).
             builds_before = checker.build_ops
             with ctx.analyze_watch.timed():
-                clusters = analyzer.cluster(segment.valid_chunks, segment.involved_backups)
+                clusters = analyzer.cluster(
+                    segment.valid_chunks,
+                    segment.involved_backups,
+                    valid_ids=segment.valid_ids,
+                )
                 order = planner.plan(clusters, segment.involved_backups)
             self.last_cluster_counts.append(order.num_clusters)
             # Analyze cost in operations: filter builds + membership probes
@@ -81,9 +92,21 @@ class GCCDFMigration:
             # still correct here, because repointing happens only when a
             # destination seals, and every fp belongs to exactly one
             # not-yet-reclaimed source.
-            for ref in order.sequence:
-                source_id = ctx.index.get(ref.fp).container_id
-                copy_forward.migrate_chunk(ref, segment.payloads.get(ref.fp), source_id)
+            sequence = order.sequence
+            if segment.valid_ids is not None and not segment.payloads:
+                placements = ctx.index.placements_map()
+                copy_forward.migrate_batch(
+                    sequence,
+                    [ref.fp for ref in sequence],
+                    [ref.size for ref in sequence],
+                    [placements[ref.fp].container_id for ref in sequence],
+                )
+            else:
+                for ref in sequence:
+                    source_id = ctx.index.get(ref.fp).container_id
+                    copy_forward.migrate_chunk(
+                        ref, segment.payloads.get(ref.fp), source_id
+                    )
 
             # Mid-migration abort point: the segment's chunks sit in the
             # (possibly still open) destination, its sources untouched.
@@ -95,11 +118,12 @@ class GCCDFMigration:
 
             # Schedule the segment's old containers for reclaim; deletion
             # becomes durable only after their chunks seal and repoint.
-            for container_id in segment.container_ids:
-                _, container_invalid_bytes = partition_container(ctx, container_id)
+            for container_id, container_invalid_keys, container_invalid_bytes in (
+                segment.reclaims
+            ):
                 copy_forward.schedule_reclaim(
                     container_id,
-                    invalid_keys(ctx, container_id),
+                    container_invalid_keys,
                     container_invalid_bytes,
                 )
 

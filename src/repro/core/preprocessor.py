@@ -14,6 +14,16 @@ Bridges the GC mark stage and the Analyzer.  Three tasks, as in Fig. 8:
 3. **Collect reference information** — union the RRT entries of the
    segment's containers into the segment's *Involved Backups* list, which
    tells the Analyzer which backups' references matter here.
+
+Each segment also carries the partition by-products downstream consumers
+need anyway: the aligned interned-id column of its valid chunks (columnar
+services only — it feeds the Analyzer's exact-membership fast path) and the
+per-container ``(invalid_keys, invalid_bytes)`` reclaim data.  Validity is
+stable for the duration of one drained GC round — migration relocates index
+entries without removing them, reclaims drop only already-invalid keys, and
+the VC table never changes mid-round — so the sweep reuses these partitions
+at reclaim-scheduling time instead of re-partitioning every container
+twice.
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.gc.migration import SweepContext, partition_container
+from repro.gc.migration import ContainerPartition, SweepContext, partition
 from repro.model import ChunkRef
 
 
@@ -33,12 +43,18 @@ class Segment:
     container_ids: list[int]
     #: Valid chunks of the segment, in container scan order.
     valid_chunks: list[ChunkRef] = field(default_factory=list)
+    #: Interned ids aligned with ``valid_chunks`` (``None`` when any of the
+    #: segment's containers lacks a manifest, i.e. on the legacy path).
+    valid_ids: list[int] | None = None
     #: storage key → payload bytes, for chunks that carry payloads.
     payloads: dict[bytes, bytes] = field(default_factory=dict)
     #: Live backups referencing any container of this segment, ascending.
     involved_backups: tuple[int, ...] = ()
     #: Invalid bytes found across the segment's containers.
     invalid_bytes: int = 0
+    #: Per-container reclaim data, in scan order:
+    #: ``(container_id, invalid_keys, invalid_bytes)``.
+    reclaims: list[tuple[int, list[bytes], int]] = field(default_factory=list)
 
     @property
     def cached_bytes(self) -> int:
@@ -53,43 +69,51 @@ class Preprocessor:
         self.ctx = ctx
         self.segment_size = ctx.config.gccdf.segment_size
 
-    def reclaimable_containers(self) -> list[tuple[int, list[ChunkRef], int]]:
+    def reclaimable_containers(self) -> list[tuple[int, ContainerPartition]]:
         """GS-list containers that actually hold invalid chunks.
 
-        Returns ``(container_id, valid_entries, invalid_bytes)`` triples;
-        fully-valid containers stay involved-but-untouched, matching the
-        involved/reclaimed distinction of Fig. 13.
+        Returns ``(container_id, partition)`` pairs; fully-valid containers
+        stay involved-but-untouched, matching the involved/reclaimed
+        distinction of Fig. 13.
         """
         out = []
         for container_id in self.ctx.mark.gs_list:
-            valid, invalid_bytes = partition_container(self.ctx, container_id)
-            if invalid_bytes == 0:
+            part = partition(self.ctx, container_id)
+            if part.invalid_bytes == 0:
                 continue
-            out.append((container_id, valid, invalid_bytes))
+            out.append((container_id, part))
         return out
 
     def segments(self) -> Iterator[Segment]:
         """Yield segments one at a time (the GC cache holds one segment)."""
         work = self.reclaimable_containers()
+        columnar = all(part.valid_ids is not None for _, part in work)
         for seg_index, start in enumerate(range(0, len(work), self.segment_size)):
             batch = work[start : start + self.segment_size]
             segment = Segment(
                 index=seg_index,
-                container_ids=[container_id for container_id, _, _ in batch],
+                container_ids=[container_id for container_id, _ in batch],
+                valid_ids=[] if columnar else None,
             )
             owners: set[int] = set()
-            for container_id, valid, invalid_bytes in batch:
-                segment.invalid_bytes += invalid_bytes
+            for container_id, part in batch:
+                segment.invalid_bytes += part.invalid_bytes
+                segment.reclaims.append(
+                    (container_id, part.invalid_keys, part.invalid_bytes)
+                )
                 owners.update(self.ctx.mark.rrt.get(container_id, ()))
-                if not valid:
+                if not part.valid:
                     continue
                 # Sweep-read: fetch the container (charged I/O) and cache
                 # its valid chunks in memory.
                 container = self.ctx.store.read_container(container_id)
-                for entry in valid:
-                    segment.valid_chunks.append(entry)
-                    payload = container.payload(entry.fp)
-                    if payload is not None:
-                        segment.payloads[entry.fp] = payload
+                segment.valid_chunks.extend(part.valid)
+                if columnar:
+                    segment.valid_ids.extend(part.valid_ids)
+                if container.has_payloads():
+                    for entry in part.valid:
+                        payload = container.payload(entry.fp)
+                        if payload is not None:
+                            segment.payloads[entry.fp] = payload
             segment.involved_backups = tuple(sorted(owners))
             yield segment

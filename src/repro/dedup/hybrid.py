@@ -177,10 +177,17 @@ def repoint_recipe(
         canonical_id = interner.intern(canonical)
         new_ids = array("q", recipe.chunk_ids)
         changed = 0
-        for position, chunk_id in enumerate(new_ids):
-            if chunk_id == dup_id:
-                new_ids[position] = canonical_id
-                changed += 1
+        # C-level scan: array.index jumps between occurrences instead of a
+        # Python-level comparison per position.
+        position = 0
+        while True:
+            try:
+                position = new_ids.index(dup_id, position)
+            except ValueError:
+                break
+            new_ids[position] = canonical_id
+            changed += 1
+            position += 1
         replacement: Recipe | ColumnarRecipe = ColumnarRecipe(
             recipe.backup_id,
             interner,

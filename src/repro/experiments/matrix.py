@@ -46,8 +46,10 @@ from repro.experiments.common import ExperimentScale, get_scale, run_protocol
 from repro.experiments.pool import run_tasks
 from repro.obs.tracer import TraceRecorder, Tracer, write_trace
 
-#: Where cell wall-times land unless the caller overrides it.
-DEFAULT_BENCH_PATH = "BENCH_matrix.json"
+#: Where cell wall-times land unless the caller overrides it.  Kept with
+#: the other committed benchmark artifacts so a bare ``repro-experiments``
+#: run never litters the repository root.
+DEFAULT_BENCH_PATH = "benchmarks/results/BENCH_matrix.json"
 
 
 @dataclass(frozen=True)
@@ -302,6 +304,9 @@ class MatrixSummary:
 
     def write_json(self, path: str | os.PathLike = DEFAULT_BENCH_PATH) -> None:
         """Persist per-cell and total wall-time (the BENCH_matrix.json file)."""
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")

@@ -18,7 +18,8 @@ slowest cell — and a warm-cache rerun costs no protocol runs at all.
 Tables go to stdout; progress lines, the matrix summary and cache-hit
 counters go to stderr, so redirected stdout is byte-stable across ``--jobs``
 values and cache states.  Per-cell and total wall-times are written to
-``BENCH_matrix.json`` (``--bench-json`` overrides the path).
+``benchmarks/results/BENCH_matrix.json`` (``--bench-json`` overrides the
+path).
 """
 
 from __future__ import annotations

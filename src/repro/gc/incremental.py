@@ -45,8 +45,9 @@ from repro.gc.migration import (
     MigrationStrategy,
     NaiveMigration,
     SweepContext,
-    invalid_keys,
-    partition_container,
+    partition,
+    partition_members,
+    sweep_source,
 )
 from repro.gc.report import GCReport
 from repro.gc.vc_table import make_vc_table
@@ -517,12 +518,25 @@ class IncrementalGC:
         if state.barrier_keys:
             vc_table.update(state.barrier_keys)
             state.barrier_keys.clear()
+        # Columnar services hand the sweep kernels the live-id set: every
+        # snapshot live key maps through the interner (barrier keys are
+        # deliberately left out — they are VC members, and live_ids only
+        # ever needs to be a *subset* of the table's membership).
+        live_ids = None
+        if self.recipes.all_columnar():
+            id_map = self.recipes.interner.id_map()
+            live_ids = frozenset(
+                chunk_id
+                for chunk_id in map(id_map.get, state.live_keys)
+                if chunk_id is not None
+            )
         state.mark_result = MarkResult(
             vc_table=vc_table,
             gs_list=tuple(sorted(state.gs_set)),
             rrt={cid: tuple(sorted(b)) for cid, b in state.rrt_sets.items()},
             candidate_keys=len(state.candidate_keys),
             mark_seconds=0.0,  # accumulated in state.mark_seconds instead
+            live_ids=live_ids,
         )
         # The scan working sets are no longer needed; the memo must not
         # outlive the mark (the sweep mutates placements).
@@ -584,22 +598,10 @@ class IncrementalGC:
                 remaining -= 1
                 if container_id not in self.store:
                     continue  # reclaimed before a crash; nothing left here
-                valid, invalid_bytes = partition_container(ctx, container_id)
-                if invalid_bytes == 0:
+                part = partition(ctx, container_id)
+                if part.invalid_bytes == 0:
                     continue  # involved but fully valid: nothing to reclaim
-                payload_source = (
-                    self.store.read_container(container_id) if valid else None
-                )
-                for entry in valid:
-                    payload = (
-                        payload_source.payload(entry.fp)
-                        if payload_source is not None
-                        else None
-                    )
-                    copy_forward.migrate_chunk(entry, payload, container_id)
-                copy_forward.schedule_reclaim(
-                    container_id, invalid_keys(ctx, container_id), invalid_bytes
-                )
+                sweep_source(copy_forward, ctx, container_id, part)
             ph.annotate(round_index=state.round_index, sweep_pos=state.sweep_pos)
         state.sweep_read_seconds += ph.delta.read_seconds
         state.sweep_write_seconds += ph.delta.write_seconds
@@ -616,31 +618,46 @@ class IncrementalGC:
         with self.disk.phase("gc.sweep") as ph:
             container_ids: list[int] = []
             valid_chunks = []
+            valid_ids: list[int] = []
+            columnar = True
             payloads: dict[bytes, bytes] = {}
             owners: set[int] = set()
+            reclaims: list[tuple[int, list[bytes], int]] = []
             segment_invalid_bytes = 0
             for container_id in batch:
                 if container_id not in self.store:
                     continue  # reclaimed before a crash
-                valid, invalid_bytes = partition_container(ctx, container_id)
-                if invalid_bytes == 0:
+                part = partition(ctx, container_id)
+                if part.invalid_bytes == 0:
                     continue  # fully valid (possible only after a crash)
                 container_ids.append(container_id)
-                segment_invalid_bytes += invalid_bytes
+                segment_invalid_bytes += part.invalid_bytes
+                reclaims.append(
+                    (container_id, part.invalid_keys, part.invalid_bytes)
+                )
                 owners.update(ctx.mark.rrt.get(container_id, ()))
-                if not valid:
+                if part.valid_ids is None:
+                    columnar = False
+                if not part.valid:
                     continue
                 container = self.store.read_container(container_id)
-                for entry in valid:
-                    valid_chunks.append(entry)
-                    payload = container.payload(entry.fp)
-                    if payload is not None:
-                        payloads[entry.fp] = payload
+                valid_chunks.extend(part.valid)
+                if part.valid_ids is not None:
+                    valid_ids.extend(part.valid_ids)
+                if container.has_payloads():
+                    for entry in part.valid:
+                        payload = container.payload(entry.fp)
+                        if payload is not None:
+                            payloads[entry.fp] = payload
             if container_ids:
                 involved_backups = tuple(sorted(owners))
                 builds_before = checker.build_ops
                 with ctx.analyze_watch.timed():
-                    clusters = analyzer.cluster(valid_chunks, involved_backups)
+                    clusters = analyzer.cluster(
+                        valid_chunks,
+                        involved_backups,
+                        valid_ids=valid_ids if columnar else None,
+                    )
                     order = planner.plan(clusters, involved_backups)
                 ctx.analyze_ops += (
                     (checker.build_ops - builds_before)
@@ -648,19 +665,35 @@ class IncrementalGC:
                     + order.num_clusters * order.num_clusters
                     + order.num_chunks
                 )
-                for ref in order.sequence:
-                    source_id = ctx.index.get(ref.fp).container_id
-                    copy_forward.migrate_chunk(ref, payloads.get(ref.fp), source_id)
+                sequence = order.sequence
+                if columnar and not payloads:
+                    placements = ctx.index.placements_map()
+                    copy_forward.migrate_batch(
+                        sequence,
+                        [ref.fp for ref in sequence],
+                        [ref.size for ref in sequence],
+                        [placements[ref.fp].container_id for ref in sequence],
+                    )
+                else:
+                    for ref in sequence:
+                        source_id = ctx.index.get(ref.fp).container_id
+                        copy_forward.migrate_chunk(
+                            ref, payloads.get(ref.fp), source_id
+                        )
                 ctx.disk.crash_point(
                     "gccdf.segment",
                     segment_index=segment_index,
                     containers=len(container_ids),
                 )
-                for container_id in container_ids:
-                    _, container_invalid_bytes = partition_container(ctx, container_id)
+                # Validity is stable within one atomic step, so the
+                # pre-migration partitions are the reclaim data (revivals
+                # between steps are the reclaim barrier's to catch).
+                for container_id, container_invalid_keys, container_invalid_bytes in (
+                    reclaims
+                ):
                     copy_forward.schedule_reclaim(
                         container_id,
-                        invalid_keys(ctx, container_id),
+                        container_invalid_keys,
                         container_invalid_bytes,
                     )
                 state.segments_done += 1
@@ -767,21 +800,14 @@ def partition_container_ids(
     """Partition one container against a mark result without a sweep context
     (used while pinning the GCCDF work list).
 
-    Same index-membership guard as
-    :func:`~repro.gc.migration.partition_container`: a key the index no
-    longer holds (a coalesced hybrid duplicate) is invalid whatever the VC
-    table says.
+    Same kernels (and therefore the same index-membership guard) as
+    :func:`~repro.gc.migration.partition`: a key the index no longer holds
+    (a coalesced hybrid duplicate) is invalid whatever the VC table says.
     """
-    container = engine.store.peek(container_id)
-    index = engine.index
-    valid = []
-    invalid_bytes = 0
-    for entry in container.entries:
-        if entry.fp in mark.vc_table and entry.fp in index:
-            valid.append(entry)
-        else:
-            invalid_bytes += entry.size
-    return valid, invalid_bytes
+    part = partition_members(
+        engine.store, engine.index, engine.recipes, mark, container_id
+    )
+    return part.valid, part.invalid_bytes
 
 
 @dataclass

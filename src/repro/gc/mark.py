@@ -53,6 +53,13 @@ class MarkResult:
     candidate_keys: int
     #: Simulated seconds spent reading recipes.
     mark_seconds: float
+    #: Interned ids of the live key set (columnar marks only).  Always a
+    #: *subset* of the VC table's members at any later time — the table may
+    #: grow via the incremental live-reference barrier — so sweep kernels
+    #: may treat ``id in live_ids`` as a proven VC hit and fall back to
+    #: probing the table itself for the rest (Bloom false positives and
+    #: barrier additions included).  ``None`` on the legacy path.
+    live_ids: frozenset[int] | None = None
 
     def rrt_bytes_estimate(self) -> int:
         """Approximate RRT memory footprint (paper §5.5's sizing argument:
@@ -97,18 +104,20 @@ class MarkStage:
     def _run_columnar(self) -> MarkResult:
         interner = self.recipes.interner
         keys = interner.keys()
-        index_lookup = self.index.lookup
+        index_lookup_many = self.index.lookup_many
         # Dense-id bookkeeping, manipulated almost entirely through C-level
         # set operations: per recipe the id column collapses to a set once
-        # (``set(array)`` iterates in C), then candidacy, liveness, the
-        # unresolved frontier, and the RRT contribution are set algebra.
-        # Only genuinely fresh ids reach the Python-level probe loop — the
-        # same once-per-unique-key probe count as the legacy memo, just in
-        # dense-id order instead of first-occurrence order (the index is
-        # read-only during mark, so probe order is unobservable).
-        candidate_ids: set[int] = set()
-        live_ids: set[int] = set()
-        resolved_ids: set[int] = set()
+        # (``set(array)`` iterates in C); candidacy, liveness, the
+        # unresolved frontier, and the RRT contribution are set algebra over
+        # whole *populations*, not per recipe.  Each pass unions its
+        # recipes' id sets, subtracts what is already resolved, and probes
+        # the index once for the whole frontier — the same once-per-unique-
+        # key probe count (and counter accounting) as the legacy memo, just
+        # in dense-id order instead of first-occurrence order.  Batching is
+        # unobservable: the index is read-only during mark, and the RRT is
+        # order-independent (a recipe references a GS container iff any of
+        # its chunks is *placed* there, a pure function of the frozen index
+        # state — the legacy kernel's per-entry adds compute exactly that).
         #: GS container id → resolved chunk ids placed in it.  A recipe
         #: references a GS container iff its id set intersects the
         #: container's member set, which ``isdisjoint`` answers at C speed
@@ -116,46 +125,53 @@ class MarkStage:
         #: per chunk occurrence.
         gs_members: dict[int, set[int]] = {cid: set() for cid in self.extra_gs}
 
+        def resolve(fresh: "set[int]", create: bool) -> None:
+            """Probe the index for a frontier of ids; bucket the placed ones
+            into their containers' member sets.  Pass 1 creates member sets
+            on demand (``gs_members`` doubles as the GS container set);
+            pass 2 only feeds containers already on the GS list — live
+            chunks elsewhere are irrelevant to the sweep."""
+            fresh_ids = list(fresh)
+            placements = index_lookup_many(list(map(keys.__getitem__, fresh_ids)))
+            for chunk_id, placement in zip(fresh_ids, placements):
+                if placement is not None:
+                    members = gs_members.get(placement.container_id)
+                    if members is None:
+                        if not create:
+                            continue
+                        members = gs_members[placement.container_id] = set()
+                    members.add(chunk_id)
+
         with self.disk.phase("gc.mark") as ph:
             # Pass 1 — deleted recipes: find containers that may hold garbage.
-            gs_set: set[int] = set(self.extra_gs)
+            deleted_sets = []
             for recipe in self.recipes.deleted_recipes():
                 self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
-                fresh = recipe.unique_ids() - candidate_ids
-                candidate_ids |= fresh
-                resolved_ids |= fresh
-                for chunk_id in fresh:
-                    placement = index_lookup(keys[chunk_id])
-                    if placement is not None:
-                        container_id = placement.container_id
-                        gs_set.add(container_id)
-                        members = gs_members.get(container_id)
-                        if members is None:
-                            members = gs_members[container_id] = set()
-                        members.add(chunk_id)
+                deleted_sets.append(recipe.unique_ids())
+            candidate_ids: set[int] = set().union(*deleted_sets) if deleted_sets else set()
+            resolve(candidate_ids, create=True)
+            gs_set: set[int] = set(gs_members)
 
             # Mark is read-only, so a crash here needs no repair — recovery
             # simply aborts the round and the next GC re-marks from scratch.
             self.disk.crash_point("gc.mark", gs_containers=len(gs_set))
 
             # Pass 2 — live recipes: liveness sets and RRT in one traversal.
-            rrt_sets: dict[int, set[int]] = {container_id: set() for container_id in gs_set}
-            for recipe in self.recipes.live_recipes():
+            live_recipes = list(self.recipes.live_recipes())
+            live_sets = []
+            for recipe in live_recipes:
                 self.disk.read(recipe.num_chunks * RECIPE_ENTRY_BYTES)
-                ids_set = recipe.unique_ids()
-                live_ids |= ids_set
-                fresh = ids_set - resolved_ids
-                if fresh:
-                    resolved_ids |= fresh
-                    for chunk_id in fresh:
-                        placement = index_lookup(keys[chunk_id])
-                        if placement is not None:
-                            members = gs_members.get(placement.container_id)
-                            if members is not None:
-                                members.add(chunk_id)
+                live_sets.append(recipe.unique_ids())
+            live_ids: set[int] = set().union(*live_sets) if live_sets else set()
+            fresh = live_ids - candidate_ids
+            if fresh:
+                resolve(fresh, create=False)
+            rrt_sets: dict[int, set[int]] = {container_id: set() for container_id in gs_set}
+            gs_items = list(gs_members.items())
+            for recipe, ids_set in zip(live_recipes, live_sets):
                 backup_id = recipe.backup_id
                 isdisjoint = ids_set.isdisjoint
-                for container_id, members in gs_members.items():
+                for container_id, members in gs_items:
                     if not isdisjoint(members):
                         rrt_sets[container_id].add(backup_id)
 
@@ -177,6 +193,7 @@ class MarkStage:
             rrt={cid: tuple(sorted(backups)) for cid, backups in rrt_sets.items()},
             candidate_keys=len(candidate_ids),
             mark_seconds=ph.delta.read_seconds,
+            live_ids=frozenset(live_ids),
         )
 
     # ------------------------------------------------------------------

